@@ -1,0 +1,67 @@
+"""Ablation: the reference net's base radius eps'.
+
+DESIGN.md lists eps' as a tunable the paper fixes at 1.  This ablation
+sweeps eps' over two orders of magnitude and reports both the space overhead
+and the query cost, verifying that (a) correctness never depends on eps'
+(same result sets), and (b) the default of 1 is within a reasonable factor
+of the best setting for the TRAJ workload.
+"""
+
+from _harness import load_windows, paper_distance, scaled
+from repro.analysis.pruning import measure_pruning
+from repro.analysis.reporting import format_table
+from repro.indexing.reference_net import ReferenceNet
+
+# Values are deliberately not all powers of two of each other: scaling eps'
+# by a power of two produces the identical ladder of level radii (just
+# re-indexed), so only non-power-of-two ratios actually change the structure.
+EPS_PRIMES = [0.6, 1.0, 1.4, 3.0]
+
+
+def test_ablation_eps_prime(benchmark):
+    windows = load_windows("traj", 300, seed=0)
+    distance = paper_distance("traj", "erp")
+    items = [window.sequence for window in windows]
+    queries = items[:3]
+    radius = 30.0
+
+    def run():
+        rows = []
+        result_sets = []
+        for eps_prime in EPS_PRIMES:
+            net = ReferenceNet(distance, eps_prime=eps_prime)
+            for window in windows:
+                net.add(window.sequence, key=window.key)
+            stats = net.stats()
+            pruning = measure_pruning(net, queries, radius)
+            result_sets.append(
+                sorted(match.key for match in net.range_query(queries[0], radius))
+            )
+            rows.append(
+                {
+                    "eps_prime": eps_prime,
+                    "avg_parents": stats.average_parents,
+                    "levels": stats.level_count,
+                    "fraction": pruning.fraction_of_naive,
+                }
+            )
+        return rows, result_sets
+
+    rows, result_sets = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["eps'", "avg parents", "levels", "fraction of naive"],
+            [[row["eps_prime"], row["avg_parents"], row["levels"], row["fraction"]] for row in rows],
+            title="Ablation -- reference net base radius eps' (TRAJ / ERP)",
+        )
+    )
+
+    # Correctness is independent of eps'.
+    assert all(result_set == result_sets[0] for result_set in result_sets)
+
+    # The paper's default (eps' = 1) is competitive: within 1.5x of the best
+    # observed query cost in the sweep.
+    fractions = {row["eps_prime"]: row["fraction"] for row in rows}
+    assert fractions[1.0] <= 1.5 * min(fractions.values()) + 0.05

@@ -1,0 +1,72 @@
+"""Ablation: the temporal-shift budget lambda0.
+
+Section 5 bounds the number of query segments by (2*lambda0 + 1)|Q|: a
+larger shift budget tolerates more warping between the matched subsequences
+but multiplies the segment count and therefore the index work.  This
+ablation measures that linear growth and checks that recall of a planted
+match does not degrade when lambda0 grows.
+"""
+
+from _harness import scaled
+from repro.analysis.reporting import format_table
+from repro.core.config import MatcherConfig
+from repro.core.matcher import SubsequenceMatcher
+from repro.core.segmentation import extract_query_segments
+from repro.datasets.loaders import load_dataset
+from repro.datasets.trajectories import generate_trajectory_query
+from repro.distances.erp import ERP
+
+SHIFTS = [0, 1, 2, 4]
+
+
+def test_ablation_lambda0(benchmark):
+    database = load_dataset("traj", num_windows=scaled(200), seed=0)
+    distance = ERP()
+    query, _, _ = generate_trajectory_query(database, length=80, jitter=0.2, seed=9)
+    radius = 60.0
+
+    def run():
+        rows = []
+        for shift in SHIFTS:
+            config = MatcherConfig(min_length=40, max_shift=shift)
+            matcher = SubsequenceMatcher(database, distance, config)
+            segments = extract_query_segments(query, config)
+            best = matcher.longest_similar(query, radius)
+            stats = matcher.last_query_stats
+            rows.append(
+                {
+                    "shift": shift,
+                    "segments": len(segments),
+                    "index_computations": stats.index_distance_computations,
+                    "found": best is not None,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["lambda0", "query segments", "index distance computations", "match found"],
+            [[row["shift"], row["segments"], row["index_computations"], row["found"]] for row in rows],
+            title="Ablation -- shift budget lambda0 (TRAJ / ERP)",
+        )
+    )
+
+    # Segment counts respect the paper's (2*lambda0 + 1) * |Q| bound and grow
+    # with the shift budget.
+    query_length = 80
+    for row in rows:
+        assert row["segments"] <= (2 * row["shift"] + 1) * query_length
+    segment_counts = [row["segments"] for row in rows]
+    assert segment_counts == sorted(segment_counts)
+
+    # Index work grows with the segment count (more segments, more queries).
+    assert rows[-1]["index_computations"] >= rows[0]["index_computations"]
+
+    # The planted match is recovered; a larger shift budget never makes the
+    # framework lose a match that a smaller budget found.
+    assert any(row["found"] for row in rows)
+    first_found = next(i for i, row in enumerate(rows) if row["found"])
+    assert all(row["found"] for row in rows[first_found:])

@@ -1,0 +1,88 @@
+"""End-to-end framework benchmark: the three query types on every dataset.
+
+Not a single paper figure, but the measurement that ties the system
+together: for each (dataset, distance) pairing of the evaluation, run the
+full pipeline (steps 3-5) for the paper's three query types against a
+planted query and report the distance computations spent, split into index
+work and verification work.
+"""
+
+import pytest
+
+from _harness import scaled
+from repro.analysis.reporting import format_table
+from repro.core.config import MatcherConfig
+from repro.core.matcher import SubsequenceMatcher
+from repro.core.queries import NearestSubsequenceQuery
+from repro.datasets.loaders import dataset_distance, load_dataset
+from repro.datasets.proteins import generate_protein_query
+from repro.datasets.songs import generate_song_query
+from repro.datasets.trajectories import generate_trajectory_query
+
+CASES = [
+    ("proteins", "levenshtein", 8.0, 25.0),
+    ("songs", "frechet", 2.0, 8.0),
+    ("traj", "erp", 90.0, 600.0),
+]
+
+_QUERY_GENERATORS = {
+    "proteins": generate_protein_query,
+    "songs": generate_song_query,
+    "traj": generate_trajectory_query,
+}
+
+
+@pytest.mark.parametrize("dataset, distance_name, radius, max_radius", CASES)
+def test_end_to_end_query_types(benchmark, dataset, distance_name, radius, max_radius):
+    database = load_dataset(dataset, num_windows=scaled(200), seed=0)
+    distance = dataset_distance(dataset, distance_name)
+    config = MatcherConfig(min_length=40, max_shift=1)
+    matcher = SubsequenceMatcher(database, distance, config)
+    query, source_id, _ = _QUERY_GENERATORS[dataset](database, length=80, seed=13)
+
+    def run():
+        results = {}
+        type_one = matcher.range_search(query, radius)
+        results["Type I (range)"] = (len(type_one), matcher.last_query_stats)
+        type_two = matcher.longest_similar(query, radius)
+        results["Type II (longest)"] = (type_two, matcher.last_query_stats)
+        type_three = matcher.nearest_subsequence(
+            query, NearestSubsequenceQuery(max_radius=max_radius)
+        )
+        results["Type III (nearest)"] = (type_three, matcher.last_query_stats)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, (outcome, stats) in results.items():
+        rows.append(
+            [
+                label,
+                stats.index_distance_computations,
+                stats.verification_distance_computations,
+                stats.naive_distance_computations,
+                repr(outcome) if not isinstance(outcome, list) else f"{outcome} matches",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["query type", "index computations", "verification computations", "naive step-4 cost", "outcome"],
+            rows,
+            title=f"End-to-end -- {dataset} / {distance_name} (lambda=40, lambda0=1)",
+        )
+    )
+
+    longest, _ = results["Type II (longest)"]
+    nearest, _ = results["Type III (nearest)"]
+    # The planted query must be found by Type II and Type III.
+    assert longest is not None and longest.length >= config.min_length
+    assert nearest is not None
+    # Type III sweeps the radius in increments of 5% of max_radius, so its
+    # result is within one increment of the best distance Type II saw.
+    increment = 0.05 * max_radius
+    assert nearest.distance <= longest.distance + increment
+    # Step 4 through the index never exceeds the naive segment-pair count.
+    for _, stats in results.values():
+        assert stats.index_distance_computations <= stats.naive_distance_computations

@@ -1,0 +1,66 @@
+"""Figure 12: unique vs consecutive matching windows on PROTEINS.
+
+The paper generates random queries against PROTEINS-10K and reports, for a
+sweep of the range radius epsilon, (a) the number of unique database windows
+matched by at least one query segment, and (b) the (much smaller) number of
+windows that are part of at least two consecutive matching windows -- the
+candidates Type II verification starts from.  At epsilon equal to the
+maximum Levenshtein distance (the window length) the whole database matches.
+"""
+
+from _harness import load_windows, paper_distance, scaled
+from repro.analysis.reporting import format_table
+from repro.core.config import MatcherConfig
+from repro.core.matcher import SubsequenceMatcher
+from repro.datasets.loaders import load_dataset
+from repro.datasets.proteins import generate_protein_query
+
+
+def test_fig12_matching_windows_proteins(benchmark):
+    database = load_dataset("proteins", num_windows=scaled(400), seed=0)
+    distance = paper_distance("proteins", "levenshtein")
+    config = MatcherConfig(min_length=40, max_shift=1)
+    matcher = SubsequenceMatcher(database, distance, config)
+    query, _, _ = generate_protein_query(database, length=60, mutation_rate=0.15, seed=7)
+    radii = [1.0, 2.0, 4.0, 8.0, 12.0, 20.0]
+
+    def run():
+        return [matcher.matching_window_report(query, radius) for radius in radii]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            radius,
+            report["unique_matching_windows"],
+            report["consecutive_matching_windows"],
+            100.0 * report["unique_fraction"],
+            100.0 * report["consecutive_fraction"],
+        ]
+        for radius, report in zip(radii, reports)
+    ]
+    print()
+    print(
+        format_table(
+            ["epsilon", "unique windows", "consecutive windows", "% unique", "% consecutive"],
+            rows,
+            title="Figure 12 -- PROTEINS: matching windows vs query radius",
+        )
+    )
+
+    unique = [report["unique_matching_windows"] for report in reports]
+    consecutive = [report["consecutive_matching_windows"] for report in reports]
+
+    # The number of matching windows follows the distance distribution:
+    # non-decreasing in epsilon, and the full database at epsilon = 20
+    # (the window length, i.e. the maximum Levenshtein distance).
+    assert unique == sorted(unique)
+    assert unique[-1] == reports[-1]["total_windows"]
+
+    # Consecutive matches are a subset of unique matches and much rarer at
+    # small radii -- the property that makes Type II verification cheap.
+    for u, c in zip(unique, consecutive):
+        assert c <= u
+    assert consecutive[0] <= max(1, unique[0])
+    mid = len(radii) // 2
+    assert consecutive[mid] <= unique[mid]

@@ -1,0 +1,90 @@
+"""Figure 4: pairwise window distance distributions per dataset / distance.
+
+The paper plots the distance distribution of each dataset under its paired
+distance functions and highlights two properties this benchmark asserts:
+
+* SONGS under the discrete Fréchet distance is narrow and quantised (most
+  mass in a band of a few integer values), while ERP on the same windows is
+  much more spread out;
+* TRAJ has wide, continuous distributions under both distances.
+"""
+
+import pytest
+
+from _harness import load_windows, paper_distance, scaled
+from repro.analysis.distributions import distance_distribution
+from repro.analysis.reporting import format_histogram, format_table
+
+CASES = [
+    ("proteins", "levenshtein"),
+    ("songs", "frechet"),
+    ("songs", "erp"),
+    ("traj", "frechet"),
+    ("traj", "erp"),
+]
+
+
+def _distribution(dataset, distance_name, pairs):
+    windows = load_windows(dataset, 300, seed=0)
+    distance = paper_distance(dataset, distance_name)
+    items = [window.sequence for window in windows]
+    return distance_distribution(items, distance, max_pairs=pairs)
+
+
+@pytest.mark.parametrize("dataset, distance_name", CASES)
+def test_fig4_distance_distribution(benchmark, dataset, distance_name):
+    pairs = scaled(1500)
+    sample = benchmark.pedantic(
+        _distribution, args=(dataset, distance_name, pairs), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_histogram(
+            sample.bin_edges,
+            sample.counts,
+            title=f"Figure 4 -- {dataset} / {distance_name}: pairwise window distances",
+        )
+    )
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["mean", sample.mean],
+                ["std", sample.std],
+                ["min", sample.minimum],
+                ["max", sample.maximum],
+                ["skewness", sample.skewness],
+            ],
+        )
+    )
+    assert sample.minimum >= 0.0
+    assert sample.std > 0.0
+
+
+def test_fig4_songs_dfd_narrower_than_erp(benchmark):
+    def measure():
+        dfd = _distribution("songs", "frechet", scaled(1200))
+        erp = _distribution("songs", "erp", scaled(1200))
+        return dfd, erp
+
+    dfd, erp = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # Normalise spread by the mean so the two scales are comparable.
+    dfd_relative_spread = dfd.std / dfd.mean
+    erp_relative_spread = erp.std / erp.mean
+    print(
+        f"\nFigure 4 shape check: DFD relative spread {dfd_relative_spread:.3f} "
+        f"vs ERP {erp_relative_spread:.3f}"
+    )
+    assert dfd.maximum - dfd.minimum <= 12.0  # pitch classes bound the DFD range
+    assert erp.maximum - erp.minimum > dfd.maximum - dfd.minimum
+
+
+def test_fig4_traj_distributions_are_wide(benchmark):
+    sample = benchmark.pedantic(
+        _distribution, args=("traj", "erp", scaled(1200)), rounds=1, iterations=1
+    )
+    # Wide continuous spread: the interquartile range is a sizeable fraction
+    # of the maximum distance, unlike the quantised SONGS/DFD case.
+    iqr = sample.quantile(0.75) - sample.quantile(0.25)
+    print(f"\nFigure 4 shape check: TRAJ/ERP IQR {iqr:.1f} of max {sample.maximum:.1f}")
+    assert iqr > 0.05 * sample.maximum

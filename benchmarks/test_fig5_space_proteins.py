@@ -1,0 +1,60 @@
+"""Figure 5: reference-net space overhead on PROTEINS (Levenshtein).
+
+The paper inserts 10K-100K protein windows and reports (a) the number of
+index nodes, which grows linearly, (b) the average number of parents per
+node, which stays small (below ~4), and (c) the index size in megabytes.
+This benchmark reproduces the same sweep at a configurable scale and asserts
+linear growth and a bounded average parent count.
+"""
+
+from _harness import load_windows, paper_distance, scaled
+from repro.analysis.reporting import format_table
+from repro.analysis.space import space_overhead_curve
+from repro.indexing.reference_net import ReferenceNet
+
+
+def test_fig5_space_overhead_proteins(benchmark):
+    total = scaled(1000)
+    windows = load_windows("proteins", total, seed=0)
+    distance = paper_distance("proteins", "levenshtein")
+    checkpoints = [total // 10, total // 4, total // 2, (3 * total) // 4, total]
+
+    points = benchmark.pedantic(
+        space_overhead_curve,
+        args=(lambda: ReferenceNet(distance), windows, checkpoints),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            point.windows_inserted,
+            point.node_count,
+            point.parent_link_count,
+            point.average_parents,
+            point.estimated_size_mb,
+        ]
+        for point in points
+    ]
+    print()
+    print(
+        format_table(
+            ["windows", "nodes", "parent links", "avg parents", "size (MB)"],
+            rows,
+            title="Figure 5 -- PROTEINS / Levenshtein: reference net space overhead",
+        )
+    )
+
+    # Node count is exactly the number of inserted windows (linear storage).
+    for point in points:
+        assert point.node_count == point.windows_inserted
+
+    # Parent links grow roughly linearly: doubling the windows should not
+    # triple the links.
+    first, last = points[0], points[-1]
+    growth = last.parent_link_count / max(first.parent_link_count, 1)
+    window_growth = last.windows_inserted / first.windows_inserted
+    assert growth <= 2.0 * window_growth
+
+    # The paper reports the average list size staying small (below ~4-5).
+    assert last.average_parents < 8.0

@@ -1,0 +1,66 @@
+"""Figure 6: reference-net space overhead on SONGS -- DFD vs ERP vs DFD-5.
+
+The paper's observation: the skewed discrete-Fréchet distribution on SONGS
+makes parent lists grow as more windows are inserted, inflating the index,
+whereas ERP keeps the average number of parents small; capping the parents
+at ``nummax = 5`` (the DFD-5 configuration) brings the DFD index back down
+to a size comparable with ERP.
+"""
+
+from _harness import load_windows, paper_distance, scaled
+from repro.analysis.reporting import format_table
+from repro.analysis.space import space_overhead_curve
+from repro.indexing.reference_net import ReferenceNet
+
+
+def _curve(distance, windows, checkpoints, nummax=None):
+    return space_overhead_curve(
+        lambda: ReferenceNet(distance, nummax=nummax), windows, checkpoints
+    )
+
+
+def test_fig6_space_overhead_songs(benchmark):
+    total = scaled(600)
+    windows = load_windows("songs", total, seed=0)
+    checkpoints = [total // 4, total // 2, total]
+    dfd = paper_distance("songs", "frechet")
+    erp = paper_distance("songs", "erp")
+
+    def run():
+        return {
+            "DFD": _curve(dfd, windows, checkpoints),
+            "DFD-5": _curve(dfd, windows, checkpoints, nummax=5),
+            "ERP": _curve(erp, windows, checkpoints),
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, points in curves.items():
+        for point in points:
+            rows.append(
+                [
+                    label,
+                    point.windows_inserted,
+                    point.parent_link_count,
+                    point.average_parents,
+                    point.estimated_size_mb,
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["config", "windows", "parent links", "avg parents", "size (MB)"],
+            rows,
+            title="Figure 6 -- SONGS: reference net space, DFD vs DFD-5 vs ERP",
+        )
+    )
+
+    final = {label: points[-1] for label, points in curves.items()}
+    # The skewed DFD distribution inflates lists relative to ERP.
+    assert final["DFD"].average_parents >= final["ERP"].average_parents
+    # nummax=5 caps the number of parents per node.
+    assert final["DFD-5"].average_parents <= 5.0 + 1e-9
+    assert final["DFD-5"].parent_link_count <= final["DFD"].parent_link_count
+    # DFD-5 brings the index size back towards the ERP level (within 2x).
+    assert final["DFD-5"].estimated_size_mb <= 2.0 * final["ERP"].estimated_size_mb

@@ -1,0 +1,44 @@
+"""Figure 8: query cost on PROTEINS (Levenshtein) -- RN vs CT vs MV-5 vs MV-50.
+
+The paper reports, for range queries of growing radius, the percentage of
+distance computations each index needs relative to a naive scan over all
+windows.  The claims this benchmark checks:
+
+* the reference net needs fewer computations than the cover tree;
+* MV-5 (same space as the reference net) is much worse except at the very
+  smallest ranges;
+* MV-50 (ten times the space) helps only at very small ranges and loses its
+  advantage as the range grows towards ~10% of the maximum distance.
+"""
+
+from _harness import average_fraction, build_index_suite, load_windows, paper_distance, run_query_figure, scaled
+
+
+def test_fig8_query_cost_proteins(benchmark):
+    windows = load_windows("proteins", 400, seed=0)
+    distance = paper_distance("proteins", "levenshtein")
+    queries = [window.sequence for window in windows[:: len(windows) // 4][:4]]
+    radii = [1.0, 2.0, 3.0, 4.0, 6.0]
+
+    def run():
+        suite = build_index_suite(distance, windows, include_mv_large=True)
+        return run_query_figure(
+            "Figure 8 -- PROTEINS / Levenshtein: query cost vs naive scan",
+            suite,
+            queries,
+            radii,
+        )
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rn = average_fraction(series, "RN")
+    ct = average_fraction(series, "CT")
+    mv5 = average_fraction(series, "MV-5")
+    assert rn <= ct * 1.05, "reference net should not lose to the cover tree"
+    assert rn < mv5, "reference net should beat MV at equal space"
+
+    # MV-50 may win at the smallest range but loses as the range grows
+    # (the crossover the paper describes).
+    mv50_large_range = series["MV-50"][-1].fraction_of_naive
+    rn_large_range = series["RN"][-1].fraction_of_naive
+    assert rn_large_range <= mv50_large_range * 1.25

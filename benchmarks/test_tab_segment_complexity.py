@@ -1,0 +1,79 @@
+"""Section 5 complexity claim: O(|Q||X|) segment pairs vs O(|Q|^2 |X|^2) brute force.
+
+Not a figure in the paper but its central analytical claim: partitioning the
+database into lambda/2 windows and sliding (2*lambda0+1)|Q| segments over the
+query reduces the number of candidate pairs from quadratic-in-both to the
+product of the sizes.  This benchmark tabulates both counts for growing
+database sizes and additionally measures the *actual* number of distance
+computations the framework spends (index + verification) for a Type II
+query, confirming it stays near the O(|Q||X|) bound.
+"""
+
+from _harness import scaled
+from repro.analysis.reporting import format_table
+from repro.core.config import MatcherConfig
+from repro.core.matcher import SubsequenceMatcher
+from repro.core.segmentation import count_segment_pairs
+from repro.datasets.loaders import load_dataset
+from repro.datasets.songs import generate_song_query
+from repro.distances.frechet import DiscreteFrechet
+
+
+def test_segment_pair_complexity(benchmark):
+    config = MatcherConfig(min_length=40, max_shift=1)
+    distance = DiscreteFrechet()
+    sizes = [scaled(100), scaled(200), scaled(400)]
+
+    def run():
+        rows = []
+        for windows in sizes:
+            database = load_dataset("songs", num_windows=windows, seed=0)
+            query, _, _ = generate_song_query(database, length=80, noise=0.2, seed=3)
+            counts = count_segment_pairs(query, database, config)
+            matcher = SubsequenceMatcher(database, distance, config)
+            matcher.longest_similar(query, 2.0)
+            stats = matcher.last_query_stats
+            rows.append(
+                {
+                    "windows": counts["windows"],
+                    "segments": counts["segments"],
+                    "segment_pairs": counts["segment_pairs"],
+                    "brute_force_pairs": counts["brute_force_pairs"],
+                    "actual_distance_computations": stats.total_distance_computations,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["windows", "segments", "segment pairs", "brute-force pairs", "actual computations"],
+            [
+                [
+                    row["windows"],
+                    row["segments"],
+                    row["segment_pairs"],
+                    row["brute_force_pairs"],
+                    row["actual_distance_computations"],
+                ]
+                for row in rows
+            ],
+            title="Section 5 -- candidate pairs: framework vs brute force",
+        )
+    )
+
+    for row in rows:
+        # The filtering bound is orders of magnitude below brute force.
+        assert row["segment_pairs"] * 100 < row["brute_force_pairs"]
+        # The framework's actual work stays at or below the O(|Q||X|) bound.
+        assert row["actual_distance_computations"] <= row["segment_pairs"] * 1.05
+
+    # Segment pairs grow linearly with the database: doubling windows about
+    # doubles the pairs (brute force would quadruple).
+    ratio = rows[-1]["segment_pairs"] / rows[0]["segment_pairs"]
+    window_ratio = rows[-1]["windows"] / rows[0]["windows"]
+    assert ratio <= window_ratio * 1.2
+    brute_ratio = rows[-1]["brute_force_pairs"] / rows[0]["brute_force_pairs"]
+    assert brute_ratio > window_ratio * 1.5

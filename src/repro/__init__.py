@@ -1,0 +1,172 @@
+"""repro: a generic framework for efficient and effective subsequence retrieval.
+
+This library reproduces Zhu, Kollios & Athitsos, *"A Generic Framework for
+Efficient and Effective Subsequence Retrieval"* (PVLDB 5(11), 2012):
+
+* a family of sequence distances with explicit *metricity* and *consistency*
+  flags (:mod:`repro.distances`);
+* the **reference net**, a linear-space, multi-parent metric index optimised
+  for range queries, plus cover-tree / reference-based / vp-tree baselines
+  (:mod:`repro.indexing`);
+* the window-segmentation subsequence-matching framework with the paper's
+  three query types (:mod:`repro.core`);
+* synthetic stand-ins for the paper's PROTEINS / SONGS / TRAJ datasets
+  (:mod:`repro.datasets`) and the analysis helpers behind every figure
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import (
+        Sequence, SequenceDatabase, SequenceKind, DiscreteFrechet,
+        SubsequenceMatcher, MatcherConfig,
+    )
+
+    db = SequenceDatabase(SequenceKind.TIME_SERIES)
+    db.add(Sequence.from_values(range(100), seq_id="ramp"))
+    matcher = SubsequenceMatcher(db, DiscreteFrechet(),
+                                 MatcherConfig(min_length=20, max_shift=2))
+    query = Sequence.from_values(range(30, 70), seq_id="q")
+    print(matcher.longest_similar(query, 0.5))
+"""
+
+from repro.exceptions import (
+    ReproError,
+    SequenceError,
+    AlphabetError,
+    DistanceError,
+    IncompatibleSequencesError,
+    IndexError_,
+    ItemNotFoundError,
+    InvariantViolationError,
+    ConfigurationError,
+    QueryError,
+    StorageError,
+)
+from repro.sequences import (
+    Alphabet,
+    DNA_ALPHABET,
+    PROTEIN_ALPHABET,
+    PITCH_ALPHABET,
+    Sequence,
+    SequenceKind,
+    Window,
+    sliding_windows,
+    tumbling_windows,
+    SequenceDatabase,
+)
+from repro.distances import (
+    Distance,
+    ElementMetric,
+    Euclidean,
+    Hamming,
+    Levenshtein,
+    WeightedLevenshtein,
+    DTW,
+    ERP,
+    DiscreteFrechet,
+    EDR,
+    LCSS,
+    check_consistency,
+    ConsistencyReport,
+    get_distance,
+    register_distance,
+    available_distances,
+)
+from repro.indexing import (
+    MetricIndex,
+    RangeMatch,
+    DistanceCounter,
+    CountingDistance,
+    LinearScanIndex,
+    ReferenceNet,
+    CoverTree,
+    ReferenceIndex,
+    VPTree,
+)
+from repro.core import (
+    MatcherConfig,
+    QueryStats,
+    RangeQuery,
+    LongestSubsequenceQuery,
+    NearestSubsequenceQuery,
+    SegmentMatch,
+    SubsequenceMatch,
+    SubsequenceMatcher,
+    partition_database,
+    extract_query_segments,
+    chain_segment_matches,
+    brute_force_matches,
+    brute_force_longest,
+    brute_force_nearest,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "SequenceError",
+    "AlphabetError",
+    "DistanceError",
+    "IncompatibleSequencesError",
+    "IndexError_",
+    "ItemNotFoundError",
+    "InvariantViolationError",
+    "ConfigurationError",
+    "QueryError",
+    "StorageError",
+    # sequences
+    "Alphabet",
+    "DNA_ALPHABET",
+    "PROTEIN_ALPHABET",
+    "PITCH_ALPHABET",
+    "Sequence",
+    "SequenceKind",
+    "Window",
+    "sliding_windows",
+    "tumbling_windows",
+    "SequenceDatabase",
+    # distances
+    "Distance",
+    "ElementMetric",
+    "Euclidean",
+    "Hamming",
+    "Levenshtein",
+    "WeightedLevenshtein",
+    "DTW",
+    "ERP",
+    "DiscreteFrechet",
+    "EDR",
+    "LCSS",
+    "check_consistency",
+    "ConsistencyReport",
+    "get_distance",
+    "register_distance",
+    "available_distances",
+    # indexing
+    "MetricIndex",
+    "RangeMatch",
+    "DistanceCounter",
+    "CountingDistance",
+    "LinearScanIndex",
+    "ReferenceNet",
+    "CoverTree",
+    "ReferenceIndex",
+    "VPTree",
+    # core framework
+    "MatcherConfig",
+    "QueryStats",
+    "RangeQuery",
+    "LongestSubsequenceQuery",
+    "NearestSubsequenceQuery",
+    "SegmentMatch",
+    "SubsequenceMatch",
+    "SubsequenceMatcher",
+    "partition_database",
+    "extract_query_segments",
+    "chain_segment_matches",
+    "brute_force_matches",
+    "brute_force_longest",
+    "brute_force_nearest",
+]

@@ -1,0 +1,22 @@
+"""Experiment support: distance distributions, pruning ratios, space curves.
+
+These helpers drive the figure reproductions in ``benchmarks/`` and are
+public so users can run the same analyses on their own data.
+"""
+
+from repro.analysis.distributions import DistanceDistribution, distance_distribution
+from repro.analysis.pruning import PruningResult, measure_pruning, compare_indexes
+from repro.analysis.space import SpacePoint, space_overhead_curve
+from repro.analysis.reporting import format_table, format_histogram
+
+__all__ = [
+    "DistanceDistribution",
+    "distance_distribution",
+    "PruningResult",
+    "measure_pruning",
+    "compare_indexes",
+    "SpacePoint",
+    "space_overhead_curve",
+    "format_table",
+    "format_histogram",
+]

@@ -1,0 +1,95 @@
+"""Query-cost measurement: distance computations relative to a linear scan.
+
+Figures 8-11 of the paper plot, for each index and each query range, the
+percentage of distance computations performed compared to the naive solution
+(one distance per database window).  :func:`measure_pruning` reproduces that
+measurement for one index; :func:`compare_indexes` sweeps a set of indexes
+over a set of ranges, which is exactly what the figure benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence as TypingSequence
+
+from repro.exceptions import ConfigurationError
+from repro.indexing.base import MetricIndex
+
+
+@dataclass
+class PruningResult:
+    """Query cost of one index at one range radius, averaged over queries."""
+
+    index_name: str
+    radius: float
+    #: Average distance computations per query.
+    distance_computations: float
+    #: Average number of reported matches per query.
+    matches: float
+    #: Distance computations a linear scan would need (= number of items).
+    naive_computations: int
+
+    @property
+    def fraction_of_naive(self) -> float:
+        """Distance computations as a fraction of the naive linear scan."""
+        if self.naive_computations == 0:
+            return 0.0
+        return self.distance_computations / self.naive_computations
+
+    @property
+    def pruning_ratio(self) -> float:
+        """The paper's ``alpha``: fraction of computations avoided."""
+        return 1.0 - self.fraction_of_naive
+
+
+def measure_pruning(
+    index: MetricIndex,
+    queries: TypingSequence[object],
+    radius: float,
+) -> PruningResult:
+    """Average query cost of ``index`` over ``queries`` at one radius."""
+    if not queries:
+        raise ConfigurationError("need at least one query to measure pruning")
+    counter = index.counter
+    total_computations = 0
+    total_matches = 0
+    for query in queries:
+        counter.checkpoint()
+        matches = index.range_query(query, radius)
+        total_computations += counter.since_checkpoint()
+        total_matches += len(matches)
+    count = len(queries)
+    return PruningResult(
+        index_name=index.index_name,
+        radius=radius,
+        distance_computations=total_computations / count,
+        matches=total_matches / count,
+        naive_computations=len(index),
+    )
+
+
+def compare_indexes(
+    indexes: Dict[str, MetricIndex],
+    queries: TypingSequence[object],
+    radii: TypingSequence[float],
+) -> List[PruningResult]:
+    """Sweep every index over every radius; returns one result per cell.
+
+    The label keys of ``indexes`` override the indexes' own ``index_name``
+    so that configurations such as ``"MV-5"`` versus ``"MV-50"`` stay
+    distinguishable in the output.
+    """
+    results: List[PruningResult] = []
+    for radius in radii:
+        for label, index in indexes.items():
+            result = measure_pruning(index, queries, radius)
+            results.append(
+                PruningResult(
+                    index_name=label,
+                    radius=result.radius,
+                    distance_computations=result.distance_computations,
+                    matches=result.matches,
+                    naive_computations=result.naive_computations,
+                )
+            )
+    return results

@@ -1,0 +1,65 @@
+"""Plain-text rendering of benchmark tables and histograms.
+
+The benchmark harness prints the same rows and series the paper's figures
+show; these helpers keep that printing readable without pulling in a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence as TypingSequence
+
+import numpy as np
+
+
+def format_table(
+    headers: TypingSequence[str],
+    rows: TypingSequence[TypingSequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_histogram(
+    bin_edges: np.ndarray,
+    counts: np.ndarray,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Render a histogram as horizontal ASCII bars."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = float(np.max(counts)) if len(counts) else 0.0
+    for index in range(len(counts)):
+        low = bin_edges[index]
+        high = bin_edges[index + 1]
+        if peak > 0:
+            bar = "#" * int(round(width * counts[index] / peak))
+        else:
+            bar = ""
+        lines.append(f"[{low:8.2f}, {high:8.2f})  {int(counts[index]):6d}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
+
+Commands
+--------
+``generate``
+    Generate a synthetic dataset (proteins / songs / traj) and save it.
+``search``
+    Run a Type II (longest similar subsequence) query of a saved database
+    against a query cut from it, printing the match.
+``distribution``
+    Print the pairwise window distance distribution of a dataset
+    (the paper's Figure 4 for one dataset/distance pairing).
+``compare-indexes``
+    Print the query-cost comparison of reference net / cover tree /
+    reference-based indexing at several ranges (Figures 8-11 style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.distributions import distance_distribution
+from repro.analysis.pruning import compare_indexes
+from repro.analysis.reporting import format_histogram, format_table
+from repro.core.config import MatcherConfig
+from repro.core.matcher import SubsequenceMatcher
+from repro.datasets.loaders import dataset_distance, dataset_windows, load_dataset
+from repro.datasets.proteins import generate_protein_query
+from repro.datasets.songs import generate_song_query
+from repro.datasets.trajectories import generate_trajectory_query
+from repro.exceptions import ReproError
+from repro.indexing.cover_tree import CoverTree
+from repro.indexing.reference_based import ReferenceIndex
+from repro.indexing.reference_net import ReferenceNet
+from repro.storage.persistence import load_database, save_database
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Generic subsequence retrieval framework (VLDB 2012 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic dataset")
+    generate.add_argument("dataset", choices=["proteins", "songs", "traj"])
+    generate.add_argument("output", help="output .npz path")
+    generate.add_argument("--windows", type=int, default=1000, help="approximate window count")
+    generate.add_argument("--seed", type=int, default=0)
+
+    search = subparsers.add_parser("search", help="run a Type II query against a saved database")
+    search.add_argument("database", help="database .npz produced by 'generate'")
+    search.add_argument("--dataset", choices=["proteins", "songs", "traj"], required=True)
+    search.add_argument("--distance", default=None, help="distance name (defaults per dataset)")
+    search.add_argument("--radius", type=float, default=5.0)
+    search.add_argument("--min-length", type=int, default=40)
+    search.add_argument("--max-shift", type=int, default=2)
+    search.add_argument("--seed", type=int, default=1)
+
+    distribution = subparsers.add_parser(
+        "distribution", help="pairwise window distance distribution (Figure 4)"
+    )
+    distribution.add_argument("dataset", choices=["proteins", "songs", "traj"])
+    distribution.add_argument("--distance", default=None)
+    distribution.add_argument("--windows", type=int, default=300)
+    distribution.add_argument("--pairs", type=int, default=2000)
+    distribution.add_argument("--seed", type=int, default=0)
+
+    compare = subparsers.add_parser(
+        "compare-indexes", help="query-cost comparison across indexes (Figures 8-11)"
+    )
+    compare.add_argument("dataset", choices=["proteins", "songs", "traj"])
+    compare.add_argument("--distance", default=None)
+    compare.add_argument("--windows", type=int, default=400)
+    compare.add_argument("--queries", type=int, default=5)
+    compare.add_argument("--radii", type=float, nargs="+", default=None)
+    compare.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _default_distance(dataset: str, distance: Optional[str]) -> str:
+    if distance is not None:
+        return distance
+    return "levenshtein" if dataset == "proteins" else "frechet"
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    database = load_dataset(args.dataset, num_windows=args.windows, seed=args.seed)
+    save_database(database, args.output)
+    print(f"wrote {len(database)} sequences ({database.total_length} elements) to {args.output}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    database = load_database(args.database)
+    distance_name = _default_distance(args.dataset, args.distance)
+    distance = dataset_distance(args.dataset, distance_name)
+    if args.dataset == "proteins":
+        query, source_id, offset = generate_protein_query(database, seed=args.seed)
+    elif args.dataset == "songs":
+        query, source_id, offset = generate_song_query(database, seed=args.seed)
+    else:
+        query, source_id, offset = generate_trajectory_query(database, seed=args.seed)
+    config = MatcherConfig(min_length=args.min_length, max_shift=args.max_shift)
+    matcher = SubsequenceMatcher(database, distance, config)
+    match = matcher.longest_similar(query, args.radius)
+    print(f"query cut from {source_id!r} at offset {offset}")
+    if match is None:
+        print("no similar subsequence found at this radius")
+    else:
+        print(match)
+        stats = matcher.last_query_stats
+        print(
+            f"index distance computations: {stats.index_distance_computations} "
+            f"(naive: {stats.naive_distance_computations}, "
+            f"pruning ratio {stats.pruning_ratio:.2%})"
+        )
+    return 0
+
+
+def _cmd_distribution(args: argparse.Namespace) -> int:
+    distance_name = _default_distance(args.dataset, args.distance)
+    distance = dataset_distance(args.dataset, distance_name)
+    windows = dataset_windows(args.dataset, args.windows, seed=args.seed)
+    sample = distance_distribution(
+        [window.sequence for window in windows], distance, max_pairs=args.pairs
+    )
+    print(
+        format_histogram(
+            sample.bin_edges,
+            sample.counts,
+            title=f"{args.dataset} / {distance_name}: pairwise window distances",
+        )
+    )
+    print(f"mean={sample.mean:.3f} std={sample.std:.3f} skewness={sample.skewness:.3f}")
+    return 0
+
+
+def _cmd_compare_indexes(args: argparse.Namespace) -> int:
+    distance_name = _default_distance(args.dataset, args.distance)
+    distance = dataset_distance(args.dataset, distance_name)
+    windows = dataset_windows(args.dataset, args.windows, seed=args.seed)
+    items = [window.sequence for window in windows]
+    queries = items[: args.queries]
+    sample = distance_distribution(items, distance, max_pairs=500)
+    radii = args.radii or [sample.quantile(q) for q in (0.01, 0.05, 0.1, 0.25)]
+
+    indexes = {
+        "RN": ReferenceNet(distance),
+        "CT": CoverTree(distance),
+        "MV-5": ReferenceIndex(distance, num_references=5),
+    }
+    for index in indexes.values():
+        for window in windows:
+            index.add(window.sequence, key=window.key)
+    results = compare_indexes(indexes, queries, radii)
+    rows = [
+        [result.index_name, result.radius, result.distance_computations,
+         100.0 * result.fraction_of_naive, result.matches]
+        for result in results
+    ]
+    print(
+        format_table(
+            ["index", "radius", "distance computations", "% of naive", "matches"],
+            rows,
+            title=f"{args.dataset} / {distance_name}: query cost vs naive scan",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "search": _cmd_search,
+        "distribution": _cmd_distribution,
+        "compare-indexes": _cmd_compare_indexes,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

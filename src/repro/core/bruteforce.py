@@ -1,0 +1,123 @@
+"""Brute-force subsequence matching: the correctness oracle.
+
+The paper's complexity argument (Section 5) starts from the observation that
+checking every pair of subsequences costs ``O(|Q|^2 |X|^2)`` distance
+computations.  These functions implement exactly that, so tests can compare
+the framework's answers against ground truth on small inputs, and the
+complexity benchmark can quantify the gap the segmentation filter closes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.config import MatcherConfig
+from repro.core.queries import SubsequenceMatch
+from repro.distances.base import Distance
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence
+
+
+def _admissible_pairs(
+    query: Sequence, target: Sequence, config: MatcherConfig
+) -> Iterator[Tuple[int, int, int, int]]:
+    """Yield every admissible (q_start, q_stop, x_start, x_stop) combination."""
+    for q_start in range(len(query)):
+        for q_stop in range(q_start + config.min_length, len(query) + 1):
+            q_len = q_stop - q_start
+            for x_start in range(len(target)):
+                shortest = max(config.min_length, q_len - config.max_shift)
+                longest = q_len + config.max_shift
+                for x_len in range(shortest, longest + 1):
+                    x_stop = x_start + x_len
+                    if x_stop > len(target):
+                        break
+                    yield q_start, q_stop, x_start, x_stop
+
+
+def brute_force_matches(
+    query: Sequence,
+    database: SequenceDatabase,
+    distance: Distance,
+    radius: float,
+    config: MatcherConfig,
+) -> List[SubsequenceMatch]:
+    """Every pair of similar subsequences, found by exhaustive enumeration.
+
+    Only suitable for small inputs; the framework exists precisely because
+    this costs ``O(|Q|^2 |X|^2)`` distance computations.
+    """
+    results: List[SubsequenceMatch] = []
+    for sequence in database:
+        source_id = sequence.seq_id or "seq"
+        for q_start, q_stop, x_start, x_stop in _admissible_pairs(query, sequence, config):
+            value = distance(
+                query.subsequence(q_start, q_stop), sequence.subsequence(x_start, x_stop)
+            )
+            if value <= radius:
+                results.append(
+                    SubsequenceMatch(
+                        distance=value,
+                        source_id=source_id,
+                        query_start=q_start,
+                        query_stop=q_stop,
+                        db_start=x_start,
+                        db_stop=x_stop,
+                    )
+                )
+    return results
+
+
+def brute_force_longest(
+    query: Sequence,
+    database: SequenceDatabase,
+    distance: Distance,
+    radius: float,
+    config: MatcherConfig,
+) -> Optional[SubsequenceMatch]:
+    """The longest pair of similar subsequences (ties broken by distance)."""
+    best: Optional[SubsequenceMatch] = None
+    for match in brute_force_matches(query, database, distance, radius, config):
+        if (
+            best is None
+            or match.length > best.length
+            or (match.length == best.length and match.distance < best.distance)
+        ):
+            best = match
+    return best
+
+
+def brute_force_nearest(
+    query: Sequence,
+    database: SequenceDatabase,
+    distance: Distance,
+    config: MatcherConfig,
+) -> Optional[SubsequenceMatch]:
+    """The closest admissible pair of subsequences regardless of radius."""
+    best: Optional[SubsequenceMatch] = None
+    for sequence in database:
+        source_id = sequence.seq_id or "seq"
+        for q_start, q_stop, x_start, x_stop in _admissible_pairs(query, sequence, config):
+            value = distance(
+                query.subsequence(q_start, q_stop), sequence.subsequence(x_start, x_stop)
+            )
+            if best is None or value < best.distance:
+                best = SubsequenceMatch(
+                    distance=value,
+                    source_id=source_id,
+                    query_start=q_start,
+                    query_stop=q_stop,
+                    db_start=x_start,
+                    db_stop=x_stop,
+                )
+    return best
+
+
+def count_brute_force_pairs(
+    query: Sequence, database: SequenceDatabase, config: MatcherConfig
+) -> int:
+    """Number of admissible subsequence pairs brute force would evaluate."""
+    total = 0
+    for sequence in database:
+        total += sum(1 for _ in _admissible_pairs(query, sequence, config))
+    return total

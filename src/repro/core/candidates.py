@@ -1,0 +1,129 @@
+"""Step 5a: turning (segment, window) matches into candidate chains.
+
+A single matched window pins down *where* a similar subsequence pair may
+live, but the interesting matches (Type II especially) span several
+consecutive windows.  Following Section 7, two matches ``<x_i, q_j>`` and
+``<x_{i+1}, q_{j+1}>`` -- a window and its successor matched to query
+segments that follow each other -- can be concatenated; a maximal run of
+such matches is a :class:`CandidateChain`, and the longest chains are the
+most promising candidates for the longest similar subsequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence as TypingSequence, Tuple
+
+from repro.core.config import MatcherConfig
+from repro.core.queries import SegmentMatch
+
+
+@dataclass(frozen=True)
+class CandidateChain:
+    """A run of consecutive window matches within one database sequence.
+
+    Attributes
+    ----------
+    source_id:
+        The database sequence the windows belong to.
+    matches:
+        The segment matches in window order; consecutive entries correspond
+        to consecutive windows of the source sequence and to query segments
+        that (approximately) follow each other.
+    """
+
+    source_id: str
+    matches: Tuple[SegmentMatch, ...]
+
+    @property
+    def window_count(self) -> int:
+        """Number of concatenated windows (the paper's ``k``)."""
+        return len(self.matches)
+
+    @property
+    def db_start(self) -> int:
+        """Start offset of the covered database region."""
+        return self.matches[0].window.start
+
+    @property
+    def db_stop(self) -> int:
+        """Exclusive end offset of the covered database region."""
+        return self.matches[-1].window.stop
+
+    @property
+    def db_length(self) -> int:
+        """Length of the covered database region (``k * lambda / 2``)."""
+        return self.db_stop - self.db_start
+
+    @property
+    def query_start(self) -> int:
+        """Start offset of the covered query region."""
+        return min(match.query_start for match in self.matches)
+
+    @property
+    def query_stop(self) -> int:
+        """Exclusive end offset of the covered query region."""
+        return max(match.query_stop for match in self.matches)
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidateChain(source={self.source_id!r}, windows={self.window_count}, "
+            f"db=[{self.db_start}:{self.db_stop}], "
+            f"query=[{self.query_start}:{self.query_stop}])"
+        )
+
+
+def chain_segment_matches(
+    matches: TypingSequence[SegmentMatch],
+    config: MatcherConfig,
+) -> List[CandidateChain]:
+    """Concatenate consecutive window matches into maximal chains.
+
+    Two matches are chainable when their windows are consecutive in the same
+    source sequence and the second query segment starts where the first one
+    ends, give or take the shift budget ``lambda0``.  The function computes,
+    for every match, the longest chain ending at it (a small dynamic
+    program over window ordinals) and returns the maximal chains sorted by
+    decreasing window count, which is the order Type II verification wants.
+    """
+    if not matches:
+        return []
+
+    # Group matches by source and window ordinal for O(1) predecessor lookup.
+    by_ordinal: Dict[Tuple[str, int], List[int]] = {}
+    for index, match in enumerate(matches):
+        key = (match.window.source_id, match.window.ordinal)
+        by_ordinal.setdefault(key, []).append(index)
+
+    tolerance = config.max_shift
+    best_length = [1] * len(matches)
+    predecessor = [-1] * len(matches)
+
+    order = sorted(range(len(matches)), key=lambda i: matches[i].window.ordinal)
+    for index in order:
+        match = matches[index]
+        previous_key = (match.window.source_id, match.window.ordinal - 1)
+        for prev_index in by_ordinal.get(previous_key, ()):
+            previous = matches[prev_index]
+            gap = abs(match.query_start - previous.query_stop)
+            if gap > tolerance:
+                continue
+            if best_length[prev_index] + 1 > best_length[index]:
+                best_length[index] = best_length[prev_index] + 1
+                predecessor[index] = prev_index
+
+    # A match is a chain end when no other match extends it.
+    extended = set(p for p in predecessor if p >= 0)
+    chains: List[CandidateChain] = []
+    for index in range(len(matches)):
+        if index in extended:
+            continue
+        links: List[SegmentMatch] = []
+        cursor = index
+        while cursor >= 0:
+            links.append(matches[cursor])
+            cursor = predecessor[cursor]
+        links.reverse()
+        chains.append(CandidateChain(links[0].window.source_id, tuple(links)))
+    chains.sort(key=lambda chain: chain.window_count, reverse=True)
+    return chains

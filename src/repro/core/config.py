@@ -1,0 +1,101 @@
+"""Configuration of the subsequence-matching framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MatcherConfig:
+    """Parameters of the paper's framework.
+
+    Attributes
+    ----------
+    min_length:
+        The paper's ``lambda``: minimum length of a reported subsequence.
+        Must be at least 2 so that the window length ``lambda / 2`` is at
+        least 1.  The paper treats it as a per-application constant fixed at
+        index-build time.
+    max_shift:
+        The paper's ``lambda0``: maximum allowed difference between the
+        lengths of a matched query subsequence and database subsequence,
+        and the slack used when extracting query segments.  Must be smaller
+        than half the window length for the segment-count analysis of
+        Section 5 to apply, but any non-negative value is accepted.
+    eps_prime:
+        Base radius of the reference net levels (the paper's default is 1).
+    nummax:
+        Optional cap on the number of parents per reference-net node.
+    index:
+        Which index backs the segment range queries: ``"reference-net"``,
+        ``"cover-tree"``, ``"reference-based"``, ``"vp-tree"``, or
+        ``"linear-scan"``.
+    num_references:
+        Number of references for the ``"reference-based"`` index.
+    query_segment_step:
+        Step between consecutive query segment start positions (1 = every
+        position, exactly as in the paper; larger values trade recall for
+        speed and are used by some ablation benchmarks).
+    """
+
+    min_length: int
+    max_shift: int = 0
+    eps_prime: float = 1.0
+    nummax: Optional[int] = None
+    index: str = "reference-net"
+    num_references: int = 5
+    query_segment_step: int = 1
+
+    _KNOWN_INDEXES = (
+        "reference-net",
+        "cover-tree",
+        "reference-based",
+        "vp-tree",
+        "linear-scan",
+    )
+
+    def __post_init__(self) -> None:
+        if self.min_length < 2:
+            raise ConfigurationError(
+                f"min_length (lambda) must be >= 2, got {self.min_length}"
+            )
+        if self.max_shift < 0:
+            raise ConfigurationError(
+                f"max_shift (lambda0) must be non-negative, got {self.max_shift}"
+            )
+        if self.eps_prime <= 0:
+            raise ConfigurationError(
+                f"eps_prime must be positive, got {self.eps_prime}"
+            )
+        if self.nummax is not None and self.nummax < 1:
+            raise ConfigurationError(f"nummax must be >= 1, got {self.nummax}")
+        if self.index not in self._KNOWN_INDEXES:
+            raise ConfigurationError(
+                f"unknown index {self.index!r}; expected one of {self._KNOWN_INDEXES}"
+            )
+        if self.num_references < 1:
+            raise ConfigurationError(
+                f"num_references must be >= 1, got {self.num_references}"
+            )
+        if self.query_segment_step < 1:
+            raise ConfigurationError(
+                f"query_segment_step must be >= 1, got {self.query_segment_step}"
+            )
+        if self.window_length < 1:
+            raise ConfigurationError(
+                f"min_length={self.min_length} yields an empty window; use a larger lambda"
+            )
+
+    @property
+    def window_length(self) -> int:
+        """The database window length ``lambda / 2`` (integer division)."""
+        return self.min_length // 2
+
+    @property
+    def segment_lengths(self) -> range:
+        """Query segment lengths ``lambda/2 - lambda0 .. lambda/2 + lambda0``."""
+        shortest = max(1, self.window_length - self.max_shift)
+        return range(shortest, self.window_length + self.max_shift + 1)

@@ -1,0 +1,416 @@
+"""The :class:`SubsequenceMatcher`: the paper's five-step pipeline, assembled.
+
+Typical use::
+
+    from repro import (
+        SequenceDatabase, Sequence, SequenceKind, DiscreteFrechet,
+        SubsequenceMatcher, MatcherConfig,
+    )
+
+    db = SequenceDatabase(SequenceKind.TIME_SERIES)
+    db.add(Sequence.from_values([...], seq_id="series-1"))
+    matcher = SubsequenceMatcher(db, DiscreteFrechet(), MatcherConfig(min_length=40, max_shift=2))
+
+    best = matcher.longest_similar(query, radius=1.5)          # Type II
+    nearest = matcher.nearest_subsequence(query, max_radius=10)  # Type III
+    all_pairs = matcher.range_search(query, radius=1.5)          # Type I
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.candidates import CandidateChain, chain_segment_matches
+from repro.core.config import MatcherConfig
+from repro.core.queries import (
+    LongestSubsequenceQuery,
+    NearestSubsequenceQuery,
+    QueryStats,
+    RangeQuery,
+    SegmentMatch,
+    SubsequenceMatch,
+)
+from repro.core.segmentation import extract_query_segments, partition_database
+from repro.core.verification import _VerificationCounter, enumerate_matches, verify_chain
+from repro.distances.base import Distance
+from repro.exceptions import ConfigurationError, QueryError
+from repro.indexing.base import MetricIndex
+from repro.indexing.cover_tree import CoverTree
+from repro.indexing.linear_scan import LinearScanIndex
+from repro.indexing.reference_based import ReferenceIndex
+from repro.indexing.reference_net import ReferenceNet
+from repro.indexing.vp_tree import VPTree
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence
+from repro.sequences.windows import Window
+
+
+class SubsequenceMatcher:
+    """Index a sequence database for subsequence similarity queries.
+
+    Parameters
+    ----------
+    database:
+        The sequences to search.  The database is *snapshotted* at
+        construction: steps 1-2 (windowing and index construction) run once
+        here; sequences added to the database afterwards are not visible
+        until :meth:`refresh` is called.
+    distance:
+        The distance measure.  It must be consistent (the framework's
+        filtering relies on Lemma 1-3); it must additionally be a metric
+        unless the configured index is the linear scan.
+    config:
+        The framework parameters (lambda, lambda0, index choice, ...).
+
+    Attributes
+    ----------
+    last_query_stats:
+        :class:`~repro.core.queries.QueryStats` for the most recent query,
+        including index and verification distance counts -- the quantities
+        the paper's evaluation reports.
+    """
+
+    def __init__(
+        self,
+        database: SequenceDatabase,
+        distance: Distance,
+        config: MatcherConfig,
+    ) -> None:
+        if not distance.is_consistent:
+            raise ConfigurationError(
+                f"distance {distance.name!r} is not consistent; the framework's "
+                "window-based filtering (Lemmas 1-3) requires consistency"
+            )
+        if config.index != "linear-scan" and not distance.is_metric:
+            raise ConfigurationError(
+                f"distance {distance.name!r} is not a metric; configure "
+                "index='linear-scan' to use it with the framework"
+            )
+        self.database = database
+        self.distance = distance
+        self.config = config
+        self.last_query_stats = QueryStats()
+        self._windows: List[Window] = []
+        self._windows_by_key: Dict[tuple, Window] = {}
+        self._index: Optional[MetricIndex] = None
+        self.refresh()
+
+    # ------------------------------------------------------------------ #
+    # Steps 1-2: offline preprocessing
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> None:
+        """(Re)run the offline steps: window partitioning and index build."""
+        self._windows = partition_database(self.database, self.config)
+        self._windows_by_key = {window.key: window for window in self._windows}
+        self._index = self._build_index()
+        for window in self._windows:
+            self._index.add(window.sequence, key=window.key)
+        if isinstance(self._index, (ReferenceIndex, VPTree)):
+            self._index.build()
+
+    def _build_index(self) -> MetricIndex:
+        name = self.config.index
+        if name == "reference-net":
+            return ReferenceNet(
+                self.distance, eps_prime=self.config.eps_prime, nummax=self.config.nummax
+            )
+        if name == "cover-tree":
+            return CoverTree(self.distance, eps_prime=self.config.eps_prime)
+        if name == "reference-based":
+            return ReferenceIndex(self.distance, num_references=self.config.num_references)
+        if name == "vp-tree":
+            return VPTree(self.distance)
+        if name == "linear-scan":
+            return LinearScanIndex(self.distance)
+        raise ConfigurationError(f"unknown index {name!r}")  # pragma: no cover
+
+    @property
+    def index(self) -> MetricIndex:
+        """The metric index holding the database windows."""
+        assert self._index is not None
+        return self._index
+
+    @property
+    def windows(self) -> List[Window]:
+        """The database windows produced by step 1."""
+        return list(self._windows)
+
+    # ------------------------------------------------------------------ #
+    # Steps 3-4: segment extraction and range search on the index
+    # ------------------------------------------------------------------ #
+    def segment_matches(self, query: Sequence, radius: float) -> List[SegmentMatch]:
+        """Run steps 3-4 and return the (segment, window) pairs.
+
+        Also resets and fills :attr:`last_query_stats` with the step-3/4
+        accounting; callers that go on to verification (the query methods
+        below) keep extending the same stats object.
+        """
+        stats = QueryStats()
+        segments = extract_query_segments(query, self.config)
+        stats.segments_extracted = len(segments)
+        stats.naive_distance_computations = len(segments) * len(self._windows)
+
+        counter = self.index.counter
+        counter.checkpoint()
+        matches: List[SegmentMatch] = []
+        for segment in segments:
+            for hit in self.index.range_query(segment.sequence, radius):
+                window = self._windows_by_key[hit.key]
+                matches.append(
+                    SegmentMatch(
+                        query_start=segment.start,
+                        query_length=segment.length,
+                        window=window,
+                        distance=hit.distance,
+                    )
+                )
+        stats.index_distance_computations = counter.since_checkpoint()
+        stats.segment_matches = len(matches)
+        self.last_query_stats = stats
+        return matches
+
+    def _verify_with_fallback(
+        self,
+        chain: CandidateChain,
+        query: Sequence,
+        radius: float,
+        counter: _VerificationCounter,
+    ) -> Optional[SubsequenceMatch]:
+        """Verify ``chain``; on failure, retry its halves recursively.
+
+        Maximal chains can over-reach: a long, partly mis-stitched chain may
+        span regions whose overall distance exceeds the radius even though a
+        sub-chain supports a perfectly good match.  Splitting a failed chain
+        in half and retrying costs at most a logarithmic factor in extra
+        verifications and guarantees that every single-window match is still
+        considered.
+        """
+        db_sequence = self.database[chain.source_id]
+        verified = verify_chain(
+            chain, query, db_sequence, self.distance, radius, self.config, counter
+        )
+        if verified is not None or chain.window_count == 1:
+            return verified
+        middle = chain.window_count // 2
+        halves = (
+            CandidateChain(chain.source_id, chain.matches[:middle]),
+            CandidateChain(chain.source_id, chain.matches[middle:]),
+        )
+        best: Optional[SubsequenceMatch] = None
+        for half in halves:
+            candidate = self._verify_with_fallback(half, query, radius, counter)
+            if candidate is None:
+                continue
+            if (
+                best is None
+                or candidate.length > best.length
+                or (candidate.length == best.length and candidate.distance < best.distance)
+            ):
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Step 5: the three query types
+    # ------------------------------------------------------------------ #
+    def range_search(
+        self, query: Sequence, spec: Union[RangeQuery, float]
+    ) -> List[SubsequenceMatch]:
+        """Type I: pairs of similar subsequences within the given radius.
+
+        With the default (non-exhaustive) verification, one locally-maximal
+        match is reported per candidate chain; pass
+        ``RangeQuery(radius, exhaustive=True)`` -- practical on small inputs
+        only -- to enumerate every admissible pair in every candidate
+        region.
+        """
+        if not isinstance(spec, RangeQuery):
+            spec = RangeQuery(radius=float(spec))
+        matches = self.segment_matches(query, spec.radius)
+        chains = chain_segment_matches(matches, self.config)
+        self.last_query_stats.candidate_chains = len(chains)
+
+        counter = _VerificationCounter()
+        results: List[SubsequenceMatch] = []
+        seen = set()
+        for chain in chains:
+            db_sequence = self.database[chain.source_id]
+            if spec.exhaustive:
+                found = enumerate_matches(
+                    chain,
+                    query,
+                    db_sequence,
+                    self.distance,
+                    spec.radius,
+                    self.config,
+                    counter,
+                    max_results=spec.max_results,
+                )
+            else:
+                verified = self._verify_with_fallback(chain, query, spec.radius, counter)
+                found = [verified] if verified is not None else []
+            for match in found:
+                identity = (
+                    match.source_id,
+                    match.query_start,
+                    match.query_stop,
+                    match.db_start,
+                    match.db_stop,
+                )
+                if identity in seen:
+                    continue
+                seen.add(identity)
+                results.append(match)
+                if spec.max_results is not None and len(results) >= spec.max_results:
+                    self.last_query_stats.verification_distance_computations = counter.count
+                    return results
+        self.last_query_stats.verification_distance_computations = counter.count
+        return results
+
+    def longest_similar(
+        self, query: Sequence, spec: Union[LongestSubsequenceQuery, float]
+    ) -> Optional[SubsequenceMatch]:
+        """Type II: the longest pair of similar subsequences within the radius.
+
+        Following Section 7, candidate chains are examined longest first: a
+        chain of ``k`` concatenated windows can support a match of length up
+        to ``(k + 2) * lambda / 2``, so once a chain verifies, shorter chains
+        that cannot possibly beat the verified length are skipped.
+        """
+        if not isinstance(spec, LongestSubsequenceQuery):
+            spec = LongestSubsequenceQuery(radius=float(spec))
+        matches = self.segment_matches(query, spec.radius)
+        chains = chain_segment_matches(matches, self.config)
+        self.last_query_stats.candidate_chains = len(chains)
+
+        counter = _VerificationCounter()
+        best: Optional[SubsequenceMatch] = None
+        for chain in chains:
+            potential = (chain.window_count + 2) * self.config.window_length
+            if best is not None and potential <= best.length:
+                break
+            verified = self._verify_with_fallback(chain, query, spec.radius, counter)
+            if verified is None:
+                continue
+            if (
+                best is None
+                or verified.length > best.length
+                or (verified.length == best.length and verified.distance < best.distance)
+            ):
+                best = verified
+        self.last_query_stats.verification_distance_computations = counter.count
+        return best
+
+    def nearest_subsequence(
+        self, query: Sequence, spec: Union[NearestSubsequenceQuery, float]
+    ) -> Optional[SubsequenceMatch]:
+        """Type III: the pair of subsequences with the smallest distance.
+
+        Implemented as the paper describes: binary-search the smallest
+        radius at which step 4 produces at least one segment match, attempt
+        verification there, and enlarge the radius by ``radius_increment``
+        until a pair verifies.
+        """
+        if not isinstance(spec, NearestSubsequenceQuery):
+            spec = NearestSubsequenceQuery(max_radius=float(spec))
+        if not self._windows:
+            return None
+
+        # Binary search for the minimal radius producing segment matches.
+        low, high = 0.0, spec.max_radius
+        if not self.segment_matches(query, high):
+            raise QueryError(
+                f"no segment matches even at max_radius={spec.max_radius}; "
+                "increase max_radius"
+            )
+        while high - low > spec.tolerance:
+            mid = (low + high) / 2.0
+            if self.segment_matches(query, mid):
+                high = mid
+            else:
+                low = mid
+
+        increment = spec.radius_increment
+        if increment is None:
+            increment = max(spec.tolerance, 0.05 * spec.max_radius)
+
+        radius = high
+        aggregate_stats = QueryStats()
+        while radius <= spec.max_radius + 1e-12:
+            best = self._nearest_at_radius(query, radius)
+            aggregate_stats = self._merge_stats(aggregate_stats, self.last_query_stats)
+            if best is not None:
+                self.last_query_stats = aggregate_stats
+                return best
+            radius += increment
+        self.last_query_stats = aggregate_stats
+        return None
+
+    def _nearest_at_radius(self, query: Sequence, radius: float) -> Optional[SubsequenceMatch]:
+        """Best verified match at a fixed radius (minimum distance wins)."""
+        matches = self.segment_matches(query, radius)
+        chains = chain_segment_matches(matches, self.config)
+        self.last_query_stats.candidate_chains = len(chains)
+        counter = _VerificationCounter()
+        best: Optional[SubsequenceMatch] = None
+        for chain in chains:
+            verified = self._verify_with_fallback(chain, query, radius, counter)
+            if verified is None:
+                continue
+            if best is None or verified.distance < best.distance:
+                best = verified
+        self.last_query_stats.verification_distance_computations = counter.count
+        return best
+
+    @staticmethod
+    def _merge_stats(total: QueryStats, step: QueryStats) -> QueryStats:
+        """Accumulate the work of repeated step-3/4/5 passes (Type III)."""
+        return QueryStats(
+            segments_extracted=max(total.segments_extracted, step.segments_extracted),
+            index_distance_computations=(
+                total.index_distance_computations + step.index_distance_computations
+            ),
+            verification_distance_computations=(
+                total.verification_distance_computations
+                + step.verification_distance_computations
+            ),
+            segment_matches=max(total.segment_matches, step.segment_matches),
+            candidate_chains=max(total.candidate_chains, step.candidate_chains),
+            naive_distance_computations=max(
+                total.naive_distance_computations, step.naive_distance_computations
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Figure-12 style reporting
+    # ------------------------------------------------------------------ #
+    def matching_window_report(self, query: Sequence, radius: float) -> Dict[str, float]:
+        """Unique and consecutive matching windows (the paper's Figure 12).
+
+        Returns the number of distinct database windows matched by at least
+        one query segment, the number of those that are part of a run of at
+        least two consecutive matched windows, and both as fractions of the
+        total window count.
+        """
+        matches = self.segment_matches(query, radius)
+        unique_keys = {match.window.key for match in matches}
+        chains = chain_segment_matches(matches, self.config)
+        consecutive_keys = set()
+        for chain in chains:
+            if chain.window_count >= 2:
+                for match in chain.matches:
+                    consecutive_keys.add(match.window.key)
+        total = len(self._windows)
+        return {
+            "total_windows": total,
+            "unique_matching_windows": len(unique_keys),
+            "consecutive_matching_windows": len(consecutive_keys),
+            "unique_fraction": len(unique_keys) / total if total else 0.0,
+            "consecutive_fraction": len(consecutive_keys) / total if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SubsequenceMatcher(windows={len(self._windows)}, "
+            f"distance={self.distance.name!r}, index={self.config.index!r}, "
+            f"lambda={self.config.min_length}, lambda0={self.config.max_shift})"
+        )

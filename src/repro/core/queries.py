@@ -1,0 +1,187 @@
+"""Query descriptions, result records, and per-query statistics.
+
+The paper distinguishes three query types (Section 3.2):
+
+* **Type I** -- range query: every pair of similar subsequences;
+* **Type II** -- longest similar subsequence: maximise the match length;
+* **Type III** -- nearest neighbour: minimise the distance.
+
+The dataclasses here describe those queries and their results; the logic
+that answers them lives in :mod:`repro.core.matcher`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import QueryError
+from repro.sequences.windows import Window
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """Type I: all pairs of similar subsequences within ``radius``.
+
+    With ``exhaustive=False`` (the default) the matcher reports one
+    locally-maximal match per candidate chain -- a practical summary of the
+    "large number of quite related results" the paper warns Type I queries
+    produce.  With ``exhaustive=True`` every admissible endpoint combination
+    inside every candidate region is verified, which is faithful but only
+    affordable on small inputs.
+    """
+
+    radius: float
+    #: Safety valve: stop after this many verified pairs (None = unlimited).
+    max_results: Optional[int] = None
+    #: Enumerate every admissible pair inside each candidate region.
+    exhaustive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise QueryError(f"radius must be non-negative, got {self.radius}")
+        if self.max_results is not None and self.max_results < 1:
+            raise QueryError(f"max_results must be >= 1, got {self.max_results}")
+
+
+@dataclass(frozen=True)
+class LongestSubsequenceQuery:
+    """Type II: the longest pair of similar subsequences within ``radius``."""
+
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise QueryError(f"radius must be non-negative, got {self.radius}")
+
+
+@dataclass(frozen=True)
+class NearestSubsequenceQuery:
+    """Type III: the closest pair of subsequences of length at least lambda.
+
+    Attributes
+    ----------
+    max_radius:
+        Upper bound for the binary search over the range radius.
+    tolerance:
+        Binary-search precision on the radius.
+    radius_increment:
+        The paper's ``eps_inc``: how much to enlarge the radius when the
+        minimal radius that yields segment matches produces no verifiable
+        subsequence pair.
+    """
+
+    max_radius: float
+    tolerance: float = 1e-3
+    radius_increment: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_radius <= 0:
+            raise QueryError(f"max_radius must be positive, got {self.max_radius}")
+        if self.tolerance <= 0:
+            raise QueryError(f"tolerance must be positive, got {self.tolerance}")
+        if self.radius_increment is not None and self.radius_increment <= 0:
+            raise QueryError(
+                f"radius_increment must be positive, got {self.radius_increment}"
+            )
+
+
+@dataclass(frozen=True)
+class SegmentMatch:
+    """Step-4 output: one query segment paired with one database window."""
+
+    #: Start offset of the query segment within the query sequence.
+    query_start: int
+    #: Length of the query segment.
+    query_length: int
+    #: The matched database window (with provenance).
+    window: Window
+    #: Distance between segment and window when it was computed, else None.
+    distance: Optional[float]
+
+    @property
+    def query_stop(self) -> int:
+        """Exclusive end offset of the query segment."""
+        return self.query_start + self.query_length
+
+
+@dataclass(frozen=True, order=True)
+class SubsequenceMatch:
+    """A verified pair of similar subsequences (the framework's final output).
+
+    Offsets are zero-based and half-open, i.e. the query subsequence is
+    ``query[query_start:query_stop]`` and the database subsequence is
+    ``database[source_id][db_start:db_stop]``.
+    """
+
+    distance: float
+    source_id: str = field(compare=False)
+    query_start: int = field(compare=False)
+    query_stop: int = field(compare=False)
+    db_start: int = field(compare=False)
+    db_stop: int = field(compare=False)
+
+    @property
+    def query_length(self) -> int:
+        """Length of the query-side subsequence."""
+        return self.query_stop - self.query_start
+
+    @property
+    def db_length(self) -> int:
+        """Length of the database-side subsequence."""
+        return self.db_stop - self.db_start
+
+    @property
+    def length(self) -> int:
+        """The shorter of the two subsequence lengths (the reported size)."""
+        return min(self.query_length, self.db_length)
+
+    def __repr__(self) -> str:
+        return (
+            f"SubsequenceMatch(source={self.source_id!r}, "
+            f"query=[{self.query_start}:{self.query_stop}], "
+            f"db=[{self.db_start}:{self.db_stop}], distance={self.distance:.4f})"
+        )
+
+
+@dataclass
+class QueryStats:
+    """Work accounting for one framework query.
+
+    Attributes
+    ----------
+    segments_extracted:
+        Number of query segments considered (step 3).
+    index_distance_computations:
+        Distance evaluations spent inside the index during step 4.
+    verification_distance_computations:
+        Distance evaluations spent verifying candidates during step 5.
+    segment_matches:
+        Number of (segment, window) pairs produced by step 4.
+    candidate_chains:
+        Number of candidate chains examined in step 5.
+    naive_distance_computations:
+        What a linear scan would have spent in step 4 (segments x windows);
+        the ratio against ``index_distance_computations`` is the paper's
+        pruning ratio ``alpha``.
+    """
+
+    segments_extracted: int = 0
+    index_distance_computations: int = 0
+    verification_distance_computations: int = 0
+    segment_matches: int = 0
+    candidate_chains: int = 0
+    naive_distance_computations: int = 0
+
+    @property
+    def total_distance_computations(self) -> int:
+        """All distance evaluations performed while answering the query."""
+        return self.index_distance_computations + self.verification_distance_computations
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of naive step-4 distance computations avoided (``alpha``)."""
+        if self.naive_distance_computations == 0:
+            return 0.0
+        saved = self.naive_distance_computations - self.index_distance_computations
+        return max(0.0, saved / self.naive_distance_computations)

@@ -1,0 +1,110 @@
+"""Uniform access to the three synthetic datasets and their windows.
+
+The benchmark harness wants "give me N windows of dataset D and the distance
+the paper pairs it with" as a single call; these helpers provide that,
+including the canonical dataset/distance pairings of the evaluation
+(PROTEINS + Levenshtein, SONGS + {DFD, ERP}, TRAJ + {DFD, ERP}).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.datasets.proteins import generate_protein_database
+from repro.datasets.rng import RandomState
+from repro.datasets.songs import generate_song_database
+from repro.datasets.trajectories import generate_trajectory_database
+from repro.distances.base import Distance
+from repro.distances.erp import ERP
+from repro.distances.frechet import DiscreteFrechet
+from repro.distances.levenshtein import Levenshtein
+from repro.exceptions import ConfigurationError
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.windows import Window
+
+#: Window length used throughout the paper's experiments.
+PAPER_WINDOW_LENGTH = 20
+
+#: The dataset / distance pairings evaluated in the paper.
+PAPER_PAIRINGS: Dict[str, List[str]] = {
+    "proteins": ["levenshtein"],
+    "songs": ["frechet", "erp"],
+    "traj": ["frechet", "erp"],
+}
+
+
+def load_dataset(
+    name: str,
+    num_windows: int,
+    window_length: int = PAPER_WINDOW_LENGTH,
+    seed: RandomState = 0,
+) -> SequenceDatabase:
+    """Generate dataset ``name`` sized to produce about ``num_windows`` windows.
+
+    ``name`` is one of ``"proteins"``, ``"songs"``, ``"traj"``.
+    """
+    if num_windows < 1:
+        raise ConfigurationError(f"num_windows must be >= 1, got {num_windows}")
+    windows_per_sequence = 10
+    sequence_length = windows_per_sequence * window_length
+    num_sequences = max(1, (num_windows + windows_per_sequence - 1) // windows_per_sequence)
+    key = name.lower()
+    if key == "proteins":
+        return generate_protein_database(
+            num_sequences=num_sequences,
+            sequence_length=sequence_length,
+            domain_length=3 * window_length,
+            seed=seed,
+        )
+    if key == "songs":
+        return generate_song_database(
+            num_sequences=num_sequences, sequence_length=sequence_length, seed=seed
+        )
+    if key == "traj":
+        return generate_trajectory_database(
+            num_sequences=num_sequences, sequence_length=sequence_length, seed=seed
+        )
+    raise ConfigurationError(
+        f"unknown dataset {name!r}; expected one of 'proteins', 'songs', 'traj'"
+    )
+
+
+def dataset_windows(
+    name: str,
+    num_windows: int,
+    window_length: int = PAPER_WINDOW_LENGTH,
+    seed: RandomState = 0,
+) -> List[Window]:
+    """Exactly ``num_windows`` windows of the named dataset."""
+    database = load_dataset(name, num_windows, window_length, seed)
+    windows = database.windows(window_length)
+    return windows[:num_windows]
+
+
+def dataset_distance(dataset: str, distance: str) -> Distance:
+    """Instantiate the distance the paper pairs with ``dataset``.
+
+    Raises when the pairing is not one the paper evaluates, preventing the
+    benchmarks from silently measuring an unintended combination.
+    """
+    pairings = PAPER_PAIRINGS.get(dataset.lower())
+    if pairings is None or distance.lower() not in pairings:
+        raise ConfigurationError(
+            f"the paper does not evaluate {distance!r} on {dataset!r}; "
+            f"evaluated pairings: {PAPER_PAIRINGS}"
+        )
+    key = distance.lower()
+    if key == "levenshtein":
+        return Levenshtein()
+    if key == "erp":
+        return ERP()
+    return DiscreteFrechet()
+
+
+def paper_configurations() -> List[Tuple[str, str]]:
+    """Every (dataset, distance) combination the paper evaluates."""
+    combinations: List[Tuple[str, str]] = []
+    for dataset, distances in PAPER_PAIRINGS.items():
+        for distance in distances:
+            combinations.append((dataset, distance))
+    return combinations

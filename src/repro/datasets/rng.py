@@ -1,0 +1,36 @@
+"""Shared random-number helpers for the dataset generators."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: RandomState = None) -> np.random.Generator:
+    """Normalise a seed / generator argument into a :class:`numpy.random.Generator`.
+
+    Passing ``None`` yields a fixed default seed (0) rather than entropy from
+    the OS: every dataset in this library is synthetic, and reproducible
+    figures matter more than variety.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = 0
+    return np.random.default_rng(seed)
+
+
+def smooth(values: np.ndarray, window: int) -> np.ndarray:
+    """Simple moving-average smoothing along the first axis."""
+    if window <= 1:
+        return values
+    kernel = np.ones(window) / window
+    if values.ndim == 1:
+        return np.convolve(values, kernel, mode="same")
+    smoothed = np.empty_like(values)
+    for column in range(values.shape[1]):
+        smoothed[:, column] = np.convolve(values[:, column], kernel, mode="same")
+    return smoothed

@@ -1,0 +1,144 @@
+"""Synthetic pitch-class melodies (the SONGS dataset substitute).
+
+The paper's SONGS dataset takes pitch sequences from the Million Song
+Dataset: time series whose values are pitch classes in ``{0..11}``.  The
+crucial property the paper calls out (Figure 4 and Section 8.1) is that the
+discrete Fréchet distance over such data is heavily skewed -- most window
+pairs end up at DFD between 2 and 5 -- which inflates the reference net's
+parent lists unless ``nummax`` caps them, whereas ERP spreads the distances
+out.
+
+That skew arises because real melodies are built on scales: every window
+contains pitch classes spread across most of the octave, so the *bottleneck*
+coupling cost between any two windows is small, while the *sum* of coupling
+costs (ERP) still varies a lot.  The generator therefore gives every song a
+diatonic scale (seven pitch classes covering the octave) and walks over
+scale degrees with small Markov steps, which reproduces exactly that pair of
+distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.rng import RandomState, make_rng
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence, SequenceKind
+
+#: Number of pitch classes (values 0..11).
+PITCH_CLASSES = 12
+
+#: Semitone offsets of the major (diatonic) scale.
+_MAJOR_SCALE = np.array([0, 2, 4, 5, 7, 9, 11])
+
+
+def _degree_step_distribution() -> Tuple[np.ndarray, np.ndarray]:
+    """Melodic motion in scale degrees: steps dominate but leaps are common.
+
+    The leaps matter: they make every 20-note window cover most of the
+    octave, which is what concentrates the discrete Fréchet distance between
+    windows in the narrow 2-5 band the paper reports.
+    """
+    steps = np.array([-4, -3, -2, -1, 1, 2, 3, 4])
+    weights = np.array([2.0, 4.0, 6.0, 10.0, 10.0, 6.0, 4.0, 2.0])
+    return steps, weights / weights.sum()
+
+
+def _riff(rng: np.random.Generator, length: int, scale: np.ndarray) -> np.ndarray:
+    """One short riff: a degree walk over ``scale``, as pitch classes."""
+    steps, probabilities = _degree_step_distribution()
+    degree = int(rng.integers(len(scale)))
+    pitches = np.empty(length, dtype=np.float64)
+    for position in range(length):
+        pitches[position] = scale[degree]
+        step = int(rng.choice(steps, p=probabilities))
+        degree = int((degree + step) % len(scale))
+    return pitches
+
+
+def _melody(
+    rng: np.random.Generator,
+    length: int,
+    tonic: int,
+    num_riffs: int = 3,
+    perturbation: float = 0.05,
+) -> np.ndarray:
+    """A song: sections that each loop a short riff, lightly perturbed.
+
+    Pitch tracks of real songs are dominated by short repeating figures
+    (riffs, arpeggios, chord loops).  Because the discrete Fréchet distance
+    warps time, any two windows covering the same looped riff -- at *any*
+    phase -- are within a semitone or two of each other, while windows from
+    different riffs or keys sit a few semitones apart.  That is precisely the
+    narrow, skewed DFD distribution (most mass between 2 and 5) the paper
+    reports for SONGS, with ERP remaining much more spread out because it
+    sums coupling costs instead of taking their maximum.
+    """
+    scale = (tonic + _MAJOR_SCALE) % PITCH_CLASSES
+    riffs = [
+        _riff(rng, int(rng.integers(4, 9)), scale) for _ in range(num_riffs)
+    ]
+    parts = []
+    produced = 0
+    while produced < length:
+        riff = riffs[int(rng.integers(num_riffs))]
+        repeats = int(rng.integers(4, 9))
+        section = np.tile(riff, repeats)
+        flips = rng.random(section.shape[0]) < perturbation
+        section[flips] = scale[rng.integers(0, len(scale), size=int(flips.sum()))]
+        parts.append(section)
+        produced += len(section)
+    return np.concatenate(parts)[:length]
+
+
+def generate_song_database(
+    num_sequences: int = 40,
+    sequence_length: int = 300,
+    num_tonics: int = 12,
+    seed: RandomState = None,
+) -> SequenceDatabase:
+    """Generate a database of scale-based pitch-class melodies.
+
+    The defaults yield 600 windows of length 20; the space-overhead
+    benchmarks scale ``num_sequences`` up to reproduce the paper's 1K-20K
+    window range.  ``num_tonics`` controls how many distinct keys appear in
+    the database (all twelve by default).
+    """
+    rng = make_rng(seed)
+    database = SequenceDatabase(SequenceKind.TIME_SERIES, name="songs")
+    for index in range(num_sequences):
+        tonic = int(rng.integers(num_tonics)) % PITCH_CLASSES
+        database.add(
+            Sequence(
+                _melody(rng, sequence_length, tonic),
+                SequenceKind.TIME_SERIES,
+                seq_id=f"song-{index}",
+            )
+        )
+    return database
+
+
+def generate_song_query(
+    database: SequenceDatabase,
+    length: int = 60,
+    noise: float = 0.5,
+    seed: RandomState = None,
+) -> Tuple[Sequence, str, int]:
+    """Cut a query melody from the database and perturb some of its pitches.
+
+    ``noise`` is the probability of nudging each pitch by one semitone.
+    Returns the query, the source sequence id, and the cut offset.
+    """
+    rng = make_rng(seed)
+    ids = database.ids()
+    source_id = ids[int(rng.integers(len(ids)))]
+    source = database[source_id]
+    start = int(rng.integers(0, len(source) - length + 1))
+    pitches = np.array(source.values[start:start + length], dtype=np.float64)
+    nudges = rng.random(length) < noise
+    directions = rng.choice([-1.0, 1.0], size=length)
+    pitches[nudges] = np.clip(pitches[nudges] + directions[nudges], 0, PITCH_CLASSES - 1)
+    query = Sequence(pitches, SequenceKind.TIME_SERIES, seq_id="song-query")
+    return query, source_id, start

@@ -1,0 +1,233 @@
+"""Shared dynamic-programming machinery for elastic sequence distances.
+
+DTW, ERP, the Levenshtein distance and the discrete Fréchet distance are all
+computed by filling a dynamic-programming table whose cell ``(i, j)`` stores
+the best cost of aligning the first ``i`` elements of one sequence with the
+first ``j`` elements of the other.  The measures differ only in the
+recurrence: DTW/Fréchet couple elements without gap penalties (aggregating by
+sum or maximum), whereas ERP and Levenshtein pay explicit gap costs.
+
+This module provides the table-filling kernels and the traceback that turns
+a filled table into an explicit alignment (a list of *couplings*), which is
+what the paper's consistency proof reasons about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DistanceError
+
+#: A coupling pairs index ``i`` of the first sequence with index ``j`` of the second.
+Coupling = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """An explicit alignment between two sequences.
+
+    Attributes
+    ----------
+    couplings:
+        Monotonically non-decreasing list of ``(i, j)`` index pairs, covering
+        every index of both sequences (boundary + continuity properties).
+    cost:
+        The aggregated cost of the alignment under the distance that
+        produced it (sum of coupling costs, or the maximum for Fréchet).
+    """
+
+    couplings: Tuple[Coupling, ...]
+    cost: float
+
+    def __len__(self) -> int:
+        return len(self.couplings)
+
+    def covers_all_indices(self, length_first: int, length_second: int) -> bool:
+        """Check the boundary/continuity conditions of a warping alignment."""
+        firsts = {i for i, _ in self.couplings}
+        seconds = {j for _, j in self.couplings}
+        return firsts == set(range(length_first)) and seconds == set(range(length_second))
+
+
+def _validate_cost_matrix(cost: np.ndarray) -> None:
+    if cost.ndim != 2 or cost.shape[0] == 0 or cost.shape[1] == 0:
+        raise DistanceError("cost matrix must be a non-empty 2-D array")
+
+
+def warping_table(
+    cost: np.ndarray,
+    aggregate: str = "sum",
+    band: Optional[int] = None,
+) -> np.ndarray:
+    """Fill the DTW / discrete-Fréchet dynamic-programming table.
+
+    Parameters
+    ----------
+    cost:
+        The element cost matrix ``C[i, j]``.
+    aggregate:
+        ``"sum"`` for DTW-style accumulation, ``"max"`` for the discrete
+        Fréchet distance (the bottleneck variant).
+    band:
+        Optional Sakoe-Chiba band half-width.  Cells with ``|i - j| > band``
+        are left at infinity, constraining the warping path.
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``(n, m)`` table whose bottom-right cell is the distance.
+    """
+    _validate_cost_matrix(cost)
+    if aggregate not in ("sum", "max"):
+        raise DistanceError(f"aggregate must be 'sum' or 'max', got {aggregate!r}")
+    n, m = cost.shape
+    use_sum = aggregate == "sum"
+    inf = float("inf")
+    cost_rows = cost.tolist()
+    # The table is filled with plain Python floats: the windows this library
+    # aligns are short (tens of elements) but the kernel runs millions of
+    # times, and per-cell numpy indexing would dominate the runtime.
+    rows: List[List[float]] = []
+    for i in range(n):
+        cost_row = cost_rows[i]
+        prev_row = rows[i - 1] if i > 0 else None
+        row = [inf] * m
+        if band is None:
+            j_start, j_stop = 0, m
+        else:
+            j_start = max(0, i - band)
+            j_stop = min(m, i + band + 1)
+        for j in range(j_start, j_stop):
+            c = cost_row[j]
+            if i == 0 and j == 0:
+                best = 0.0
+            else:
+                best = inf
+                if prev_row is not None:
+                    if j > 0 and prev_row[j - 1] < best:
+                        best = prev_row[j - 1]
+                    if prev_row[j] < best:
+                        best = prev_row[j]
+                if j > 0 and row[j - 1] < best:
+                    best = row[j - 1]
+            if best == inf:
+                continue
+            if use_sum:
+                row[j] = best + c
+            else:
+                row[j] = best if best > c else c
+        rows.append(row)
+    return np.asarray(rows, dtype=np.float64)
+
+
+def warping_traceback(table: np.ndarray, cost: np.ndarray, aggregate: str = "sum") -> Alignment:
+    """Recover the optimal warping alignment from a filled table."""
+    n, m = table.shape
+    if np.isinf(table[n - 1, m - 1]):
+        raise DistanceError("no feasible warping path (band too narrow?)")
+    couplings: List[Coupling] = [(n - 1, m - 1)]
+    i, j = n - 1, m - 1
+    while i > 0 or j > 0:
+        candidates = []
+        if i > 0 and j > 0:
+            candidates.append((table[i - 1, j - 1], (i - 1, j - 1)))
+        if i > 0:
+            candidates.append((table[i - 1, j], (i - 1, j)))
+        if j > 0:
+            candidates.append((table[i, j - 1], (i, j - 1)))
+        _, (i, j) = min(candidates, key=lambda item: item[0])
+        couplings.append((i, j))
+    couplings.reverse()
+    return Alignment(tuple(couplings), float(table[n - 1, m - 1]))
+
+
+def edit_table(
+    substitution: np.ndarray,
+    deletion: np.ndarray,
+    insertion: np.ndarray,
+) -> np.ndarray:
+    """Fill an edit-distance style table with explicit gap costs.
+
+    The recurrence is shared by the Levenshtein distance (unit costs), the
+    weighted Levenshtein distance, and ERP (gap cost = ground distance to the
+    gap element ``g``)::
+
+        D[i, j] = min(D[i-1, j-1] + substitution[i-1, j-1],
+                      D[i-1, j]   + deletion[i-1],
+                      D[i, j-1]   + insertion[j-1])
+
+    Parameters
+    ----------
+    substitution:
+        ``(n, m)`` cost of matching element ``i`` of the first sequence with
+        element ``j`` of the second.
+    deletion:
+        Length-``n`` cost of leaving element ``i`` of the first sequence
+        unmatched.
+    insertion:
+        Length-``m`` cost of leaving element ``j`` of the second sequence
+        unmatched.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(n + 1, m + 1)`` table; the bottom-right cell is the distance.
+    """
+    _validate_cost_matrix(substitution)
+    n, m = substitution.shape
+    if deletion.shape != (n,) or insertion.shape != (m,):
+        raise DistanceError("gap cost vectors do not match the substitution matrix")
+    sub_rows = substitution.tolist()
+    del_costs = deletion.tolist()
+    ins_costs = insertion.tolist()
+    # Same rationale as warping_table: plain-float rows keep the hot DP loop
+    # an order of magnitude faster than per-cell numpy indexing.
+    first_row = [0.0] * (m + 1)
+    acc = 0.0
+    for j in range(1, m + 1):
+        acc += ins_costs[j - 1]
+        first_row[j] = acc
+    rows: List[List[float]] = [first_row]
+    for i in range(1, n + 1):
+        sub_row = sub_rows[i - 1]
+        delete_cost = del_costs[i - 1]
+        prev_row = rows[i - 1]
+        row = [0.0] * (m + 1)
+        row[0] = prev_row[0] + delete_cost
+        for j in range(1, m + 1):
+            best = prev_row[j - 1] + sub_row[j - 1]
+            up = prev_row[j] + delete_cost
+            if up < best:
+                best = up
+            left = row[j - 1] + ins_costs[j - 1]
+            if left < best:
+                best = left
+            row[j] = best
+        rows.append(row)
+    return np.asarray(rows, dtype=np.float64)
+
+
+def edit_traceback(
+    table: np.ndarray,
+    substitution: np.ndarray,
+    deletion: np.ndarray,
+    insertion: np.ndarray,
+) -> Alignment:
+    """Recover one optimal edit alignment (couplings exclude gap operations)."""
+    n, m = substitution.shape
+    couplings: List[Coupling] = []
+    i, j = n, m
+    while i > 0 and j > 0:
+        here = table[i, j]
+        if np.isclose(here, table[i - 1, j - 1] + substitution[i - 1, j - 1]):
+            couplings.append((i - 1, j - 1))
+            i, j = i - 1, j - 1
+        elif np.isclose(here, table[i - 1, j] + deletion[i - 1]):
+            i -= 1
+        else:
+            j -= 1
+    couplings.reverse()
+    return Alignment(tuple(couplings), float(table[n, m]))

@@ -1,0 +1,191 @@
+"""The :class:`Distance` interface and element-level ground metrics.
+
+A sequence distance compares two whole (sub)sequences.  Most of the
+elastic measures (DTW, ERP, Fréchet) are built on top of an *element*
+metric -- the cost of coupling one element of the first sequence with one
+element of the second.  :class:`ElementMetric` captures that ground
+distance so that the same DP code works for scalar series, trajectories,
+and symbol codes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import DistanceError, IncompatibleSequencesError
+from repro.sequences.sequence import Sequence
+
+SequenceLike = Union[Sequence, np.ndarray, Iterable[float]]
+
+
+def as_array(sequence: SequenceLike) -> np.ndarray:
+    """Coerce a :class:`Sequence`, array or iterable into a 2-D float array.
+
+    The returned array always has shape ``(length, dim)``; scalar series and
+    strings become ``(length, 1)``.  Normalising shapes here keeps every
+    distance implementation free of special cases.
+    """
+    if isinstance(sequence, Sequence):
+        values = sequence.values
+    else:
+        values = np.asarray(sequence)
+    if values.ndim == 0:
+        raise DistanceError("cannot interpret a scalar as a sequence")
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim == 1:
+        values = values.reshape(-1, 1)
+    elif values.ndim != 2:
+        raise DistanceError(
+            f"sequences must be 1-D or 2-D arrays, got ndim={values.ndim}"
+        )
+    if values.shape[0] == 0:
+        raise DistanceError("cannot compute a distance over an empty sequence")
+    return values
+
+
+def check_same_dim(first: np.ndarray, second: np.ndarray) -> None:
+    """Raise when two element arrays have different dimensionality."""
+    if first.shape[1] != second.shape[1]:
+        raise IncompatibleSequencesError(
+            f"element dimensionalities differ: {first.shape[1]} vs {second.shape[1]}"
+        )
+
+
+class ElementMetric:
+    """Ground distance between individual sequence elements.
+
+    Parameters
+    ----------
+    kind:
+        ``"euclidean"`` -- the L2 norm of the element difference (the usual
+        choice for time series and trajectories);
+        ``"manhattan"`` -- the L1 norm;
+        ``"discrete"`` -- 0 when the elements are identical, 1 otherwise
+        (the natural ground distance for symbols).
+    """
+
+    KINDS = ("euclidean", "manhattan", "discrete")
+
+    def __init__(self, kind: str = "euclidean") -> None:
+        if kind not in self.KINDS:
+            raise DistanceError(
+                f"unknown element metric {kind!r}; expected one of {self.KINDS}"
+            )
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"ElementMetric({self.kind!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ElementMetric):
+            return NotImplemented
+        return self.kind == other.kind
+
+    def __hash__(self) -> int:
+        return hash(self.kind)
+
+    def matrix(self, first: np.ndarray, second: np.ndarray) -> np.ndarray:
+        """Full cost matrix ``C[i, j] = d(first[i], second[j])``.
+
+        Both inputs must already be ``(length, dim)`` arrays.  The matrix is
+        computed with broadcasting, which keeps the elastic-distance DP loops
+        free of per-cell Python-level arithmetic.
+        """
+        check_same_dim(first, second)
+        diff = first[:, None, :] - second[None, :, :]
+        if self.kind == "euclidean":
+            return np.sqrt(np.sum(diff * diff, axis=2))
+        if self.kind == "manhattan":
+            return np.sum(np.abs(diff), axis=2)
+        return (np.any(diff != 0.0, axis=2)).astype(np.float64)
+
+    def single(self, first: np.ndarray, second: np.ndarray) -> float:
+        """Ground distance between two single elements (1-D arrays)."""
+        diff = np.asarray(first, dtype=np.float64) - np.asarray(second, dtype=np.float64)
+        if self.kind == "euclidean":
+            return float(np.sqrt(np.dot(diff, diff)))
+        if self.kind == "manhattan":
+            return float(np.sum(np.abs(diff)))
+        return 0.0 if not np.any(diff != 0.0) else 1.0
+
+    def to_origin(self, elements: np.ndarray, origin: Optional[np.ndarray] = None) -> np.ndarray:
+        """Ground distance of every element to a fixed ``origin`` element.
+
+        ERP uses the distance to a *gap element* ``g`` (the origin by
+        default) as the cost of an unmatched element.
+        """
+        if origin is None:
+            origin = np.zeros(elements.shape[1], dtype=np.float64)
+        diff = elements - origin.reshape(1, -1)
+        if self.kind == "euclidean":
+            return np.sqrt(np.sum(diff * diff, axis=1))
+        if self.kind == "manhattan":
+            return np.sum(np.abs(diff), axis=1)
+        return (np.any(diff != 0.0, axis=1)).astype(np.float64)
+
+
+class Distance(abc.ABC):
+    """Abstract base class for sequence distance measures.
+
+    Subclasses implement :meth:`compute` over normalised ``(length, dim)``
+    arrays; the public :meth:`__call__` handles coercion from
+    :class:`~repro.sequences.sequence.Sequence` objects and plain arrays.
+    """
+
+    #: Short, stable identifier used by the registry and in reports.
+    name: str = "distance"
+    #: Whether the measure is symmetric and obeys the triangle inequality.
+    is_metric: bool = False
+    #: Whether the measure obeys the paper's consistency property.
+    is_consistent: bool = False
+    #: Whether the measure tolerates operands of different lengths.
+    supports_unequal_lengths: bool = True
+
+    def __call__(self, first: SequenceLike, second: SequenceLike) -> float:
+        """Distance between two sequences (after shape normalisation)."""
+        a = as_array(first)
+        b = as_array(second)
+        check_same_dim(a, b)
+        if not self.supports_unequal_lengths and a.shape[0] != b.shape[0]:
+            raise IncompatibleSequencesError(
+                f"{self.name} requires equal-length sequences, "
+                f"got {a.shape[0]} and {b.shape[0]}"
+            )
+        return float(self.compute(a, b))
+
+    @abc.abstractmethod
+    def compute(self, first: np.ndarray, second: np.ndarray) -> float:
+        """Distance between two ``(length, dim)`` arrays."""
+
+    # ------------------------------------------------------------------ #
+    # Optional capabilities
+    # ------------------------------------------------------------------ #
+    def lower_bound(self, first: SequenceLike, second: SequenceLike) -> float:
+        """A cheap lower bound on the distance (default: 0).
+
+        Index structures may use lower bounds to skip full computations;
+        subclasses override this when a meaningful bound exists.
+        """
+        return 0.0
+
+    def pairwise(self, items: List[SequenceLike]) -> np.ndarray:
+        """Symmetric pairwise distance matrix over ``items``.
+
+        The matrix is filled assuming symmetry even for non-symmetric
+        measures, in which case the upper triangle is authoritative.
+        """
+        arrays = [as_array(item) for item in items]
+        n = len(arrays)
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(i + 1, n):
+                value = float(self.compute(arrays[i], arrays[j]))
+                matrix[i, j] = value
+                matrix[j, i] = value
+        return matrix
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,142 @@
+"""Empirical verification of the paper's consistency property.
+
+Definition 1 of the paper: a distance ``delta`` is *consistent* when, for any
+two sequences ``Q`` and ``X`` and for every subsequence ``SX`` of ``X``,
+there exists a subsequence ``SQ`` of ``Q`` with ``delta(SQ, SX) <=
+delta(Q, X)``.
+
+The declarations on each :class:`~repro.distances.base.Distance` subclass
+(``is_consistent``) record the paper's analytical results; this module
+provides an *empirical* checker used by the test-suite and available to
+users who plug in their own distances.  The checker enumerates (or samples)
+subsequences ``SX`` and verifies that the minimum over subsequences ``SQ``
+never exceeds ``delta(Q, X)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.distances.base import Distance, as_array
+from repro.exceptions import DistanceError
+
+
+@dataclass
+class ConsistencyViolation:
+    """A single counterexample found by :func:`check_consistency`."""
+
+    #: Bounds (start, stop) of the database subsequence SX that has no close SQ.
+    sx_bounds: Tuple[int, int]
+    #: delta(Q, X), which every SX should be able to beat.
+    whole_distance: float
+    #: The best (smallest) delta(SQ, SX) found over all subsequences SQ.
+    best_subsequence_distance: float
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of an empirical consistency check.
+
+    ``consistent`` is true when no violation was found among the examined
+    subsequences.  A true value on sampled subsequences is evidence, not
+    proof; a false value is a genuine counterexample.
+    """
+
+    consistent: bool
+    pairs_checked: int
+    violations: List[ConsistencyViolation] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def _all_bounds(length: int, min_length: int) -> List[Tuple[int, int]]:
+    """Every (start, stop) pair describing a subsequence of at least min_length."""
+    return [
+        (start, stop)
+        for start, stop in itertools.combinations(range(length + 1), 2)
+        if stop - start >= min_length
+    ]
+
+
+def check_consistency(
+    distance: Distance,
+    query,
+    target,
+    min_length: int = 1,
+    max_subsequences: Optional[int] = 200,
+    rng: Optional[np.random.Generator] = None,
+) -> ConsistencyReport:
+    """Empirically test Definition 1 on a concrete pair of sequences.
+
+    Parameters
+    ----------
+    distance:
+        The distance measure under test.
+    query, target:
+        The sequences ``Q`` and ``X``.
+    min_length:
+        Minimum subsequence length to consider (1 reproduces the
+        definition verbatim; larger values speed the check up).
+    max_subsequences:
+        When set, at most this many subsequences ``SX`` are examined,
+        sampled uniformly; ``None`` enumerates all of them.
+    rng:
+        Random generator used for sampling (defaults to a fixed seed so the
+        check is reproducible).
+
+    Returns
+    -------
+    ConsistencyReport
+        Violations carry the offending ``SX`` bounds, making failures easy
+        to turn into regression tests.
+    """
+    if min_length < 1:
+        raise DistanceError(f"min_length must be >= 1, got {min_length}")
+    q = as_array(query)
+    x = as_array(target)
+    whole = float(distance.compute(q, x))
+
+    sx_bounds = _all_bounds(x.shape[0], min_length)
+    if max_subsequences is not None and len(sx_bounds) > max_subsequences:
+        generator = rng or np.random.default_rng(0)
+        chosen = generator.choice(len(sx_bounds), size=max_subsequences, replace=False)
+        sx_bounds = [sx_bounds[index] for index in sorted(chosen)]
+
+    sq_bounds = _all_bounds(q.shape[0], min_length)
+
+    violations: List[ConsistencyViolation] = []
+    pairs_checked = 0
+    lockstep = not distance.supports_unequal_lengths
+    for start, stop in sx_bounds:
+        sx = x[start:stop]
+        best = np.inf
+        for q_start, q_stop in sq_bounds:
+            if lockstep and (q_stop - q_start) != (stop - start):
+                # Lockstep distances are only defined for equal lengths, so
+                # the existential in Definition 1 quantifies over same-length
+                # subsequences of Q.
+                continue
+            pairs_checked += 1
+            value = float(distance.compute(q[q_start:q_stop], sx))
+            if value < best:
+                best = value
+            if best <= whole:
+                break
+        if best > whole and not np.isclose(best, whole):
+            violations.append(
+                ConsistencyViolation(
+                    sx_bounds=(start, stop),
+                    whole_distance=whole,
+                    best_subsequence_distance=best,
+                )
+            )
+    return ConsistencyReport(
+        consistent=not violations,
+        pairs_checked=pairs_checked,
+        violations=violations,
+    )

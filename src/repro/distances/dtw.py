@@ -1,0 +1,86 @@
+"""Dynamic Time Warping (DTW).
+
+DTW aligns two sequences by warping the time axis so that each element of one
+sequence is coupled with one or more elements of the other, minimising the
+sum of coupling costs.  The paper shows DTW is *consistent* (Section 4) but
+points out that it is **not a metric** -- it violates the triangle
+inequality -- so the metric indexes of :mod:`repro.indexing` refuse it.  It
+can still be used with the segmentation filter via a linear scan, and is
+included here both for completeness and as a baseline distance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distances.alignment import Alignment, warping_table, warping_traceback
+from repro.distances.base import Distance, ElementMetric, as_array, check_same_dim
+from repro.exceptions import DistanceError
+
+
+class DTW(Distance):
+    """Dynamic time warping with an optional Sakoe-Chiba band.
+
+    Parameters
+    ----------
+    element_metric:
+        Ground distance between individual elements (default Euclidean).
+    band:
+        Optional Sakoe-Chiba band half-width; ``None`` means unconstrained
+        warping.  A band of 0 degenerates to the (rescaled) lockstep
+        distance for equal-length inputs.
+    """
+
+    name = "dtw"
+    is_metric = False
+    is_consistent = True
+    supports_unequal_lengths = True
+
+    def __init__(
+        self,
+        element_metric: Optional[ElementMetric] = None,
+        band: Optional[int] = None,
+    ) -> None:
+        if band is not None and band < 0:
+            raise DistanceError(f"band must be non-negative, got {band}")
+        self.element_metric = element_metric or ElementMetric("euclidean")
+        self.band = band
+
+    def compute(self, first: np.ndarray, second: np.ndarray) -> float:
+        cost = self.element_metric.matrix(first, second)
+        table = warping_table(cost, aggregate="sum", band=self.band)
+        value = float(table[-1, -1])
+        if np.isinf(value):
+            raise DistanceError(
+                "no warping path fits within the Sakoe-Chiba band; "
+                "widen the band or use unconstrained DTW"
+            )
+        return value
+
+    def alignment(self, first, second) -> Alignment:
+        """Return the optimal warping alignment (the coupling sequence C)."""
+        a = as_array(first)
+        b = as_array(second)
+        check_same_dim(a, b)
+        cost = self.element_metric.matrix(a, b)
+        table = warping_table(cost, aggregate="sum", band=self.band)
+        return warping_traceback(table, cost, aggregate="sum")
+
+    def lower_bound(self, first, second) -> float:
+        """LB_Kim-style bound: cost of coupling the two endpoints.
+
+        The first elements of both sequences must be coupled, and so must
+        the last elements, so the sum of those two ground distances can
+        never exceed the DTW cost.
+        """
+        a = as_array(first)
+        b = as_array(second)
+        check_same_dim(a, b)
+        start = self.element_metric.single(a[0], b[0])
+        end = self.element_metric.single(a[-1], b[-1])
+        return float(start + end)
+
+    def __repr__(self) -> str:
+        return f"DTW(element_metric={self.element_metric!r}, band={self.band})"

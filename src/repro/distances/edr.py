@@ -1,0 +1,54 @@
+"""EDR: Edit Distance on Real sequences (extension distance).
+
+EDR treats two real-valued elements as "equal" when they fall within a
+matching threshold ``epsilon`` of each other, and then counts edit
+operations exactly like the Levenshtein distance.  It is robust to noise
+and outliers but **not a metric** (the thresholding breaks the triangle
+inequality), so it is provided as an extension usable with the linear-scan
+path of the framework only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distances.alignment import edit_table
+from repro.distances.base import Distance, ElementMetric
+from repro.exceptions import DistanceError
+
+
+class EDR(Distance):
+    """Edit Distance on Real sequences.
+
+    Parameters
+    ----------
+    epsilon:
+        Matching threshold: elements at ground distance <= ``epsilon`` match
+        at cost 0, otherwise substitution costs 1.
+    element_metric:
+        Ground distance used for the threshold test.
+    """
+
+    name = "edr"
+    is_metric = False
+    is_consistent = True
+    supports_unequal_lengths = True
+
+    def __init__(self, epsilon: float = 0.5, element_metric: Optional[ElementMetric] = None) -> None:
+        if epsilon < 0:
+            raise DistanceError(f"epsilon must be non-negative, got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.element_metric = element_metric or ElementMetric("euclidean")
+
+    def compute(self, first: np.ndarray, second: np.ndarray) -> float:
+        ground = self.element_metric.matrix(first, second)
+        substitution = (ground > self.epsilon).astype(np.float64)
+        deletion = np.ones(first.shape[0], dtype=np.float64)
+        insertion = np.ones(second.shape[0], dtype=np.float64)
+        table = edit_table(substitution, deletion, insertion)
+        return float(table[-1, -1])
+
+    def __repr__(self) -> str:
+        return f"EDR(epsilon={self.epsilon}, element_metric={self.element_metric!r})"

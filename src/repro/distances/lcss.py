@@ -1,0 +1,67 @@
+"""LCSS-based distance (extension distance).
+
+The Longest Common SubSequence similarity counts how many elements of the
+two sequences can be matched within a threshold ``epsilon`` while respecting
+order.  The derived distance ``1 - LCSS / min(|A|, |B|)`` is a popular
+trajectory measure; like EDR it is robust to outliers but not a metric, so
+within this library it is only usable with linear-scan filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.distances.base import Distance, ElementMetric
+from repro.exceptions import DistanceError
+
+
+class LCSS(Distance):
+    """Distance derived from the Longest Common SubSequence similarity.
+
+    Parameters
+    ----------
+    epsilon:
+        Matching threshold for two elements to count as common.
+    element_metric:
+        Ground distance used for the threshold test.
+    """
+
+    name = "lcss"
+    is_metric = False
+    is_consistent = False
+    supports_unequal_lengths = True
+
+    def __init__(self, epsilon: float = 0.5, element_metric: Optional[ElementMetric] = None) -> None:
+        if epsilon < 0:
+            raise DistanceError(f"epsilon must be non-negative, got {epsilon}")
+        self.epsilon = float(epsilon)
+        self.element_metric = element_metric or ElementMetric("euclidean")
+
+    def similarity_length(self, first: np.ndarray, second: np.ndarray) -> int:
+        """Length of the longest common (threshold-matched) subsequence."""
+        ground = self.element_metric.matrix(first, second)
+        matches = (ground <= self.epsilon).tolist()
+        n, m = ground.shape
+        previous = [0] * (m + 1)
+        for i in range(1, n + 1):
+            row_matches = matches[i - 1]
+            current = [0] * (m + 1)
+            for j in range(1, m + 1):
+                if row_matches[j - 1]:
+                    current[j] = previous[j - 1] + 1
+                else:
+                    up = previous[j]
+                    left = current[j - 1]
+                    current[j] = up if up >= left else left
+            previous = current
+        return int(previous[m])
+
+    def compute(self, first: np.ndarray, second: np.ndarray) -> float:
+        common = self.similarity_length(first, second)
+        shorter = min(first.shape[0], second.shape[0])
+        return 1.0 - common / shorter
+
+    def __repr__(self) -> str:
+        return f"LCSS(epsilon={self.epsilon}, element_metric={self.element_metric!r})"

@@ -1,0 +1,70 @@
+"""A small registry mapping distance names to factories.
+
+The CLI, the persistence layer, and the benchmark harness all refer to
+distances by their short names (``"erp"``, ``"frechet"``, ...); the registry
+turns those names back into configured instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.distances.base import Distance
+from repro.distances.dtw import DTW
+from repro.distances.edr import EDR
+from repro.distances.erp import ERP
+from repro.distances.euclidean import Euclidean
+from repro.distances.frechet import DiscreteFrechet
+from repro.distances.hamming import Hamming
+from repro.distances.lcss import LCSS
+from repro.distances.levenshtein import Levenshtein, WeightedLevenshtein
+from repro.exceptions import DistanceError
+
+_FACTORIES: Dict[str, Callable[..., Distance]] = {}
+
+
+def register_distance(name: str, factory: Callable[..., Distance], overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    Raises
+    ------
+    DistanceError
+        If the name is already taken and ``overwrite`` is false.
+    """
+    key = name.lower()
+    if key in _FACTORIES and not overwrite:
+        raise DistanceError(f"a distance named {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def get_distance(name: str, **kwargs) -> Distance:
+    """Instantiate the distance registered under ``name``.
+
+    Keyword arguments are forwarded to the factory, e.g.
+    ``get_distance("erp", gap=0.0)``.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise DistanceError(
+            f"unknown distance {name!r}; available: {', '.join(available_distances())}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_distances() -> List[str]:
+    """Sorted list of registered distance names."""
+    return sorted(_FACTORIES)
+
+
+# Built-in measures.
+register_distance("euclidean", Euclidean)
+register_distance("hamming", Hamming)
+register_distance("levenshtein", Levenshtein)
+register_distance("weighted-levenshtein", WeightedLevenshtein)
+register_distance("dtw", DTW)
+register_distance("erp", ERP)
+register_distance("frechet", DiscreteFrechet)
+register_distance("dfd", DiscreteFrechet)
+register_distance("edr", EDR)
+register_distance("lcss", LCSS)

@@ -1,0 +1,203 @@
+"""The :class:`MetricIndex` interface shared by every index structure.
+
+An index stores arbitrary *items* (in the framework's case,
+:class:`~repro.sequences.windows.Window` objects are stored with their
+subsequence as the indexed payload) under hashable keys, and answers range
+queries: given a query payload and a radius ``eps``, return every stored
+item within distance ``eps``.
+
+Two details matter for faithfully reproducing the paper's evaluation:
+
+* every distance evaluation performed by an index is counted through a
+  :class:`~repro.indexing.stats.DistanceCounter`;
+* a range result may omit the exact distance (``distance=None``) when the
+  index proved membership through the triangle inequality without computing
+  the distance -- this "include the whole subtree for free" behaviour is a
+  key advantage of the reference net (Lemma 4).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from repro.distances.base import Distance, SequenceLike
+from repro.exceptions import DistanceError, IndexError_
+from repro.indexing.stats import CountingDistance, DistanceCounter
+
+
+@dataclass(frozen=True)
+class RangeMatch:
+    """One item returned by a range query.
+
+    Attributes
+    ----------
+    key:
+        The key under which the item was inserted.
+    item:
+        The stored payload.
+    distance:
+        The exact distance to the query when the index computed it, or
+        ``None`` when membership was proven by the triangle inequality
+        alone.  Call the distance yourself if you need the exact value.
+    """
+
+    key: Hashable
+    item: object
+    distance: Optional[float]
+
+
+class MetricIndex(abc.ABC):
+    """Base class for metric range-query indexes.
+
+    Parameters
+    ----------
+    distance:
+        The (metric) distance used to compare stored items and queries.
+    counter:
+        Optional shared :class:`DistanceCounter`; one is created when
+        omitted.
+    require_metric:
+        Indexes that rely on the triangle inequality refuse non-metric
+        distances (e.g. DTW) unless this check is explicitly disabled by a
+        subclass that does not need metricity (the linear scan).
+    """
+
+    #: Human-readable index name used in reports and benchmarks.
+    index_name: str = "index"
+
+    def __init__(
+        self,
+        distance: Distance,
+        counter: Optional[DistanceCounter] = None,
+        require_metric: bool = True,
+    ) -> None:
+        if require_metric and not distance.is_metric:
+            raise DistanceError(
+                f"{type(self).__name__} relies on the triangle inequality but "
+                f"{distance.name!r} is not a metric; use LinearScanIndex instead"
+            )
+        self._counting = CountingDistance(distance, counter)
+        self._items: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Accounting and common accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def distance(self) -> Distance:
+        """The underlying (uncounted) distance measure."""
+        return self._counting.inner
+
+    @property
+    def counter(self) -> DistanceCounter:
+        """The distance-evaluation counter for this index."""
+        return self._counting.counter
+
+    def _d(self, first: SequenceLike, second: SequenceLike) -> float:
+        """Compute (and count) the distance between two payloads."""
+        return self._counting(first, second)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._items
+
+    def keys(self) -> List[Hashable]:
+        """All stored keys."""
+        return list(self._items.keys())
+
+    def items(self) -> List[Tuple[Hashable, object]]:
+        """All stored ``(key, item)`` pairs."""
+        return list(self._items.items())
+
+    def get(self, key: Hashable) -> object:
+        """Return the item stored under ``key``."""
+        try:
+            return self._items[key]
+        except KeyError:
+            raise IndexError_(f"no item with key {key!r} in this index") from None
+
+    # ------------------------------------------------------------------ #
+    # Abstract operations
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def add(self, item: object, key: Optional[Hashable] = None) -> Hashable:
+        """Insert ``item`` under ``key`` (auto-generated when omitted)."""
+
+    @abc.abstractmethod
+    def remove(self, key: Hashable) -> object:
+        """Remove and return the item stored under ``key``."""
+
+    @abc.abstractmethod
+    def range_query(self, query: SequenceLike, radius: float) -> List[RangeMatch]:
+        """Return every stored item within ``radius`` of ``query``."""
+
+    # ------------------------------------------------------------------ #
+    # Conveniences shared by every implementation
+    # ------------------------------------------------------------------ #
+    def add_all(self, items: Iterable[Tuple[Hashable, object]]) -> List[Hashable]:
+        """Insert many ``(key, item)`` pairs; returns the keys in order."""
+        return [self.add(item, key) for key, item in items]
+
+    def _auto_key(self) -> int:
+        """Generate a fresh integer key."""
+        key = len(self._items)
+        while key in self._items:
+            key += 1
+        return key
+
+    def nearest_neighbour(
+        self, query: SequenceLike, initial_radius: float = 1.0, growth: float = 2.0
+    ) -> Optional[RangeMatch]:
+        """Best-match search built on repeated range queries.
+
+        The paper's Type III query reduces nearest-neighbour search to a
+        sequence of range queries with growing radius; the same reduction is
+        offered here for any index.  Returns ``None`` for an empty index.
+        """
+        matches = self.knn_query(query, 1, initial_radius=initial_radius, growth=growth)
+        return matches[0] if matches else None
+
+    def knn_query(
+        self,
+        query: SequenceLike,
+        k: int,
+        initial_radius: float = 1.0,
+        growth: float = 2.0,
+    ) -> List[RangeMatch]:
+        """The ``k`` stored items closest to ``query``, nearest first.
+
+        Implemented, like the paper's Type III query, as range queries with a
+        geometrically growing radius until at least ``k`` items are found;
+        ties at the k-th distance are broken arbitrarily.  Every returned
+        match carries its exact distance.
+        """
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        if not self._items:
+            return []
+        if initial_radius <= 0 or growth <= 1:
+            raise IndexError_("initial_radius must be > 0 and growth > 1")
+        radius = initial_radius
+        wanted = min(k, len(self._items))
+        while True:
+            matches = self.range_query(query, radius)
+            if len(matches) >= wanted:
+                resolved = [
+                    RangeMatch(
+                        match.key,
+                        match.item,
+                        match.distance
+                        if match.distance is not None
+                        else self._d(query, match.item),
+                    )
+                    for match in matches
+                ]
+                resolved.sort(key=lambda match: match.distance)
+                return resolved[:wanted]
+            radius *= growth
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(size={len(self)}, distance={self.distance.name!r})"

@@ -1,0 +1,54 @@
+"""Naive linear-scan "index".
+
+The linear scan computes the distance from the query to every stored item.
+It is the correctness oracle for the smarter indexes and the denominator of
+the paper's query-cost figures: an index that needs ``c`` distance
+computations for a query over ``n`` items achieves a pruning ratio of
+``1 - c / n`` (Equation 5's ``alpha``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.distances.base import Distance, SequenceLike
+from repro.exceptions import IndexError_
+from repro.indexing.base import MetricIndex, RangeMatch
+from repro.indexing.stats import DistanceCounter
+
+
+class LinearScanIndex(MetricIndex):
+    """Exhaustive scan over all stored items.
+
+    Works with *any* distance, metric or not, which makes it the only index
+    in this library usable with DTW, EDR, or LCSS.
+    """
+
+    index_name = "linear-scan"
+
+    def __init__(self, distance: Distance, counter: Optional[DistanceCounter] = None) -> None:
+        super().__init__(distance, counter, require_metric=False)
+
+    def add(self, item: object, key: Optional[Hashable] = None) -> Hashable:
+        if key is None:
+            key = self._auto_key()
+        if key in self._items:
+            raise IndexError_(f"key {key!r} is already present")
+        self._items[key] = item
+        return key
+
+    def remove(self, key: Hashable) -> object:
+        try:
+            return self._items.pop(key)
+        except KeyError:
+            raise IndexError_(f"no item with key {key!r} in this index") from None
+
+    def range_query(self, query: SequenceLike, radius: float) -> List[RangeMatch]:
+        if radius < 0:
+            raise IndexError_(f"radius must be non-negative, got {radius}")
+        matches: List[RangeMatch] = []
+        for key, item in self._items.items():
+            value = self._d(query, item)
+            if value <= radius:
+                matches.append(RangeMatch(key, item, value))
+        return matches

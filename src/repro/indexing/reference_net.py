@@ -1,0 +1,522 @@
+"""The Reference Net: the paper's generic metric index (Section 6, Appendix A).
+
+The reference net is a hierarchical structure over a metric space:
+
+* levels are numbered ``0 .. r-1``; level ``i`` is associated with the
+  radius ``eps_i = eps' * 2**i``;
+* the bottom level conceptually contains every item; each item is stored
+  once, at its *home level* -- the highest level at which it acts as a
+  reference;
+* a reference ``R(i, j)`` at level ``i`` keeps a list ``L(i, j)`` of
+  references from level ``i-1`` within distance ``eps_i`` -- and, unlike a
+  cover tree, an item may appear in the lists of **several** parents, which
+  is what lets a single reference distance prune or accept more of the
+  database (Lemma 4, Figure 2);
+* the *inclusive* property guarantees every reference of level ``i-1`` has
+  at least one parent at level ``i``; the *exclusive* property keeps
+  references of the same level at least ``eps_i`` apart;
+* an optional ``nummax`` cap bounds how many parent lists may contain one
+  item, keeping the space linear in adversarial distributions (the paper's
+  DFD-5 configuration).
+
+The implementation below maintains the inclusive (covering) property
+exactly -- that is what range-query correctness relies on -- and the
+exclusive property to the extent the insertion algorithm's local view
+allows, matching the behaviour of the paper's Algorithm 1.
+
+One implementation refinement over the paper's pseudo-code: every parent
+link stores the exact parent-child distance (known for free at insertion
+time), and the range query uses it for per-child triangle-inequality bounds
+in addition to Lemma 4's level-radius bounds.  This costs no extra distance
+computations, keeps the space linear, and is precisely the kind of pruning
+the paper's Figure 2 motivates for the multi-parent design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.distances.base import Distance, SequenceLike
+from repro.exceptions import IndexError_, InvariantViolationError
+from repro.indexing.base import MetricIndex, RangeMatch
+from repro.indexing.stats import DistanceCounter
+
+
+class _Node:
+    """One stored item and its position in the hierarchy."""
+
+    __slots__ = ("key", "item", "home_level", "children", "parent_links")
+
+    def __init__(self, key: Hashable, item: object, home_level: int) -> None:
+        self.key = key
+        self.item = item
+        #: Highest level at which this node acts as a reference.
+        self.home_level = home_level
+        #: Children lists per level: ``children[i]`` is the list ``L(i, self)``
+        #: as ``(child, exact parent-child distance)`` pairs.
+        self.children: Dict[int, List[Tuple["_Node", float]]] = {}
+        #: ``(level, parent)`` pairs for every list containing this node.
+        self.parent_links: List[Tuple[int, "_Node"]] = []
+
+    def iter_children(self) -> Iterator[Tuple[int, "_Node", float]]:
+        """Yield ``(level, child, distance)`` for every child in every list."""
+        for level, kids in self.children.items():
+            for child, link_distance in kids:
+                yield level, child, link_distance
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this node has no children in any list."""
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Node(key={self.key!r}, home_level={self.home_level})"
+
+
+@dataclass
+class ReferenceNetStats:
+    """Space-overhead statistics (the quantities of Figures 5-7)."""
+
+    #: Number of stored items (= nodes; each item is stored exactly once).
+    node_count: int
+    #: Total number of parent links (= total size of all reference lists).
+    parent_link_count: int
+    #: Average number of parents per non-root node.
+    average_parents: float
+    #: Number of non-empty reference lists.
+    list_count: int
+    #: Number of levels currently spanned by the hierarchy.
+    level_count: int
+    #: Rough in-memory footprint estimate in bytes (nodes + links).
+    estimated_size_bytes: int
+    #: Histogram ``{home_level: node count}``.
+    level_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def estimated_size_mb(self) -> float:
+        """The byte estimate expressed in megabytes."""
+        return self.estimated_size_bytes / (1024.0 * 1024.0)
+
+
+class ReferenceNet(MetricIndex):
+    """Linear-space multi-parent metric index optimised for range queries.
+
+    Parameters
+    ----------
+    distance:
+        A metric distance (the constructor refuses non-metric measures).
+    eps_prime:
+        The base radius ``eps'``; level ``i`` uses radius ``eps' * 2**i``.
+        The paper's experiments use ``eps' = 1``.
+    nummax:
+        Optional cap on the number of parent lists containing one item
+        (``None`` = unconstrained; 5 reproduces the paper's DFD-5 / RN-5).
+    counter:
+        Optional shared distance counter.
+    node_overhead_bytes / link_overhead_bytes:
+        Constants used by :meth:`stats` to estimate the index footprint.
+        They only matter for the space-overhead figures and have sane
+        CPython-flavoured defaults.
+    """
+
+    index_name = "reference-net"
+
+    def __init__(
+        self,
+        distance: Distance,
+        eps_prime: float = 1.0,
+        nummax: Optional[int] = None,
+        counter: Optional[DistanceCounter] = None,
+        node_overhead_bytes: int = 112,
+        link_overhead_bytes: int = 24,
+    ) -> None:
+        super().__init__(distance, counter, require_metric=True)
+        if eps_prime <= 0:
+            raise IndexError_(f"eps_prime must be positive, got {eps_prime}")
+        if nummax is not None and nummax < 1:
+            raise IndexError_(f"nummax must be >= 1, got {nummax}")
+        self.eps_prime = float(eps_prime)
+        self.nummax = nummax
+        self._node_overhead = int(node_overhead_bytes)
+        self._link_overhead = int(link_overhead_bytes)
+        self._nodes: Dict[Hashable, _Node] = {}
+        self._root: Optional[_Node] = None
+        self._max_level = 1
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers
+    # ------------------------------------------------------------------ #
+    def radius(self, level: int) -> float:
+        """The covering radius ``eps' * 2**level`` of level ``level``."""
+        return self.eps_prime * (2.0 ** level)
+
+    def _subtree_radius(self, home_level: int) -> float:
+        """Upper bound on the distance from a reference with the given home
+        level to any node derived from it (geometric sum of the radii of the
+        lists below it, bounded by the next level's radius)."""
+        return self.radius(home_level + 1)
+
+    @property
+    def root_key(self) -> Optional[Hashable]:
+        """Key of the current root reference (``None`` when empty)."""
+        return self._root.key if self._root is not None else None
+
+    @property
+    def max_level(self) -> int:
+        """The current top level of the hierarchy."""
+        return self._max_level
+
+    # ------------------------------------------------------------------ #
+    # Insertion (Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def add(self, item: object, key: Optional[Hashable] = None) -> Hashable:
+        if key is None:
+            key = self._auto_key()
+        if key in self._items:
+            raise IndexError_(f"key {key!r} is already present")
+
+        if self._root is None:
+            node = _Node(key, item, home_level=self._max_level)
+            self._root = node
+            self._nodes[key] = node
+            self._items[key] = item
+            return key
+
+        root_distance = self._d(item, self._root.item)
+        self._ensure_root_covers(root_distance)
+
+        level = self._max_level
+        candidates: List[Tuple[_Node, float]] = [(self._root, root_distance)]
+        # Descend until no reference at the next level down covers the new
+        # item, or until we reach the level just above the bottom.
+        while level > 1:
+            next_candidates = self._covering_candidates(item, candidates, level - 1)
+            if not next_candidates:
+                break
+            candidates = next_candidates
+            level -= 1
+
+        node = _Node(key, item, home_level=level - 1)
+        self._attach(node, candidates, level)
+        self._nodes[key] = node
+        self._items[key] = item
+        return key
+
+    def _ensure_root_covers(self, root_distance: float) -> None:
+        """Raise the top level until the root covers the new item."""
+        while root_distance > self.radius(self._max_level):
+            self._max_level += 1
+        if self._root is not None:
+            self._root.home_level = self._max_level
+
+    def _covering_candidates(
+        self,
+        item: object,
+        candidates: List[Tuple[_Node, float]],
+        level: int,
+    ) -> List[Tuple[_Node, float]]:
+        """References at ``level`` (children of ``candidates`` plus the
+        candidates themselves, which implicitly appear at every lower level)
+        that cover ``item`` within ``radius(level)``."""
+        threshold = self.radius(level)
+        seen: Dict[Hashable, float] = {}
+        result: List[Tuple[_Node, float]] = []
+        for node, known_distance in candidates:
+            if node.key not in seen and known_distance <= threshold:
+                seen[node.key] = known_distance
+                result.append((node, known_distance))
+        for node, _ in candidates:
+            # Children in the list at ``level + 1`` have home level ``level``.
+            for child, _link in node.children.get(level + 1, ()):
+                if child.key in seen:
+                    continue
+                child_distance = self._d(item, child.item)
+                seen[child.key] = child_distance
+                if child_distance <= threshold:
+                    result.append((child, child_distance))
+        return result
+
+    def _attach(self, node: _Node, parents: List[Tuple[_Node, float]], level: int) -> None:
+        """Insert ``node`` into the lists ``L(level, parent)`` of ``parents``."""
+        chosen = parents
+        if self.nummax is not None and len(parents) > self.nummax:
+            chosen = sorted(parents, key=lambda pair: pair[1])[: self.nummax]
+        for parent, link_distance in chosen:
+            parent.children.setdefault(level, []).append((node, link_distance))
+            node.parent_links.append((level, parent))
+
+    # ------------------------------------------------------------------ #
+    # Deletion (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def remove(self, key: Hashable) -> object:
+        if key not in self._nodes:
+            raise IndexError_(f"no item with key {key!r} in this index")
+        node = self._nodes[key]
+
+        if node is self._root:
+            item = node.item
+            remaining = [
+                (other.key, other.item) for other in self._nodes.values() if other is not node
+            ]
+            self._rebuild(remaining)
+            return item
+
+        del self._nodes[key]
+        del self._items[key]
+        for level, parent in node.parent_links:
+            parent.children[level] = [
+                entry for entry in parent.children[level] if entry[0] is not node
+            ]
+            if not parent.children[level]:
+                del parent.children[level]
+        node.parent_links = []
+
+        orphans = self._dissolve(node)
+        for orphan in orphans:
+            del self._nodes[orphan.key]
+            del self._items[orphan.key]
+        for orphan in orphans:
+            self.add(orphan.item, orphan.key)
+        return node.item
+
+    def _dissolve(self, node: _Node) -> List[_Node]:
+        """Detach ``node``'s children; return nodes left without any parent.
+
+        Orphaning can cascade: a child whose only parent was an orphan is an
+        orphan too.  The returned list never contains ``node`` itself.
+        """
+        orphans: List[_Node] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for level, child, _link in list(current.iter_children()):
+                child.parent_links.remove((level, current))
+                if not child.parent_links:
+                    orphans.append(child)
+                    stack.append(child)
+            current.children = {}
+        return orphans
+
+    def _rebuild(self, items: List[Tuple[Hashable, object]]) -> None:
+        """Rebuild the structure from scratch (used when the root is removed)."""
+        self._nodes = {}
+        self._items = {}
+        self._root = None
+        self._max_level = 1
+        for key, item in items:
+            self.add(item, key)
+
+    # ------------------------------------------------------------------ #
+    # Range query (Algorithm 3)
+    # ------------------------------------------------------------------ #
+    def range_query(self, query: SequenceLike, radius: float) -> List[RangeMatch]:
+        """All items within ``radius`` of ``query``.
+
+        Levels are processed from the top down, exactly as in the paper's
+        Algorithm 3: a reference's distance is computed only if none of the
+        lists containing it (nor Lemma 4 applied to an ancestor) already
+        decided it.  Items proven to match through the triangle inequality
+        alone are returned with ``distance=None``.
+        """
+        if radius < 0:
+            raise IndexError_(f"radius must be non-negative, got {radius}")
+        if self._root is None:
+            return []
+
+        matches: List[RangeMatch] = []
+        decided: set = set()
+        #: Nodes awaiting a distance computation, grouped by home level.
+        pending: Dict[int, List[_Node]] = {self._root.home_level: [self._root]}
+
+        for level in range(self._max_level, -1, -1):
+            for node in pending.pop(level, ()):
+                if node.key in decided:
+                    continue
+                decided.add(node.key)
+                value = self._d(query, node.item)
+                if value <= radius:
+                    matches.append(RangeMatch(node.key, node.item, value))
+                subtree = self._subtree_radius(node.home_level)
+                if value + subtree <= radius:
+                    self._accept_subtree(node, decided, matches)
+                    continue
+                if value - subtree > radius:
+                    # Lemma 4: every node derived from this reference is out.
+                    self._prune_subtree(node, decided)
+                    continue
+                self._route_children(node, value, radius, decided, matches, pending)
+        return matches
+
+    def _route_children(
+        self,
+        node: _Node,
+        value: float,
+        radius: float,
+        decided: set,
+        matches: List[RangeMatch],
+        pending: Dict[int, List[_Node]],
+    ) -> None:
+        """Decide or defer each child of ``node`` given ``d(query, node)``.
+
+        Uses the exact stored parent-child distance for the child itself and
+        the level-radius bound of Lemma 4 for the child's descendants.
+        """
+        for _level, child, link_distance in node.iter_children():
+            if child.key in decided:
+                continue
+            child_subtree = self._subtree_radius(child.home_level)
+            if value + link_distance + child_subtree <= radius:
+                decided.add(child.key)
+                matches.append(RangeMatch(child.key, child.item, None))
+                self._accept_subtree(child, decided, matches)
+                continue
+            if value - link_distance - child_subtree > radius:
+                decided.add(child.key)
+                self._prune_subtree(child, decided)
+                continue
+            if child.is_leaf:
+                # The child has no descendants, so the exact link distance
+                # alone can settle it without a distance computation.
+                if value + link_distance <= radius:
+                    decided.add(child.key)
+                    matches.append(RangeMatch(child.key, child.item, None))
+                    continue
+                if value - link_distance > radius:
+                    decided.add(child.key)
+                    continue
+            pending.setdefault(child.home_level, []).append(child)
+
+    def _accept_subtree(self, node: _Node, decided: set, matches: List[RangeMatch]) -> None:
+        """Add every undecided descendant of ``node`` to the results."""
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for _level, child, _link in current.iter_children():
+                if child.key in decided:
+                    continue
+                decided.add(child.key)
+                matches.append(RangeMatch(child.key, child.item, None))
+                stack.append(child)
+
+    def _prune_subtree(self, node: _Node, decided: set) -> None:
+        """Mark every undecided descendant of ``node`` as rejected."""
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            for _level, child, _link in current.iter_children():
+                if child.key in decided:
+                    continue
+                decided.add(child.key)
+                stack.append(child)
+
+    # ------------------------------------------------------------------ #
+    # Statistics and invariants
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ReferenceNetStats:
+        """Space-overhead statistics for the current structure."""
+        node_count = len(self._nodes)
+        link_count = sum(len(node.parent_links) for node in self._nodes.values())
+        list_count = sum(len(node.children) for node in self._nodes.values())
+        non_root = max(node_count - 1, 1)
+        histogram: Dict[int, int] = {}
+        for node in self._nodes.values():
+            histogram[node.home_level] = histogram.get(node.home_level, 0) + 1
+        size = node_count * self._node_overhead + link_count * self._link_overhead
+        return ReferenceNetStats(
+            node_count=node_count,
+            parent_link_count=link_count,
+            average_parents=link_count / non_root,
+            list_count=list_count,
+            level_count=self._max_level + 1,
+            estimated_size_bytes=size,
+            level_histogram=histogram,
+        )
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raise :class:`InvariantViolationError`.
+
+        Checked: (a) every non-root node has at least one parent (the
+        inclusive property), (b) parent/child links are mutually consistent,
+        (c) every child lies within the covering radius of its list's level
+        and the stored link distance is exact, and (d) every node is
+        reachable from the root.
+        """
+        if self._root is None:
+            if self._nodes:
+                raise InvariantViolationError("nodes present but no root")
+            return
+        reachable = {self._root.key}
+        stack = [self._root]
+        while stack:
+            current = stack.pop()
+            for level, child, link_distance in current.iter_children():
+                if (level, current) not in child.parent_links:
+                    raise InvariantViolationError(
+                        f"child {child.key!r} lacks a back-link to parent {current.key!r}"
+                    )
+                if child.home_level != level - 1:
+                    raise InvariantViolationError(
+                        f"child {child.key!r} in a level-{level} list has home level "
+                        f"{child.home_level} (expected {level - 1})"
+                    )
+                covering = self.distance(current.item, child.item)
+                if abs(covering - link_distance) > 1e-9 * max(1.0, covering):
+                    raise InvariantViolationError(
+                        f"stored link distance {link_distance} for child {child.key!r} "
+                        f"does not match the recomputed distance {covering}"
+                    )
+                if covering > self.radius(level) * (1 + 1e-9):
+                    raise InvariantViolationError(
+                        f"child {child.key!r} is at distance {covering} from parent "
+                        f"{current.key!r}, beyond the level-{level} radius {self.radius(level)}"
+                    )
+                if child.key not in reachable:
+                    reachable.add(child.key)
+                    stack.append(child)
+        for key, node in self._nodes.items():
+            if node is not self._root and not node.parent_links:
+                raise InvariantViolationError(f"node {key!r} has no parent")
+            if key not in reachable:
+                raise InvariantViolationError(f"node {key!r} is unreachable from the root")
+            if self.nummax is not None and len(node.parent_links) > self.nummax:
+                raise InvariantViolationError(
+                    f"node {key!r} has {len(node.parent_links)} parents, exceeding "
+                    f"nummax={self.nummax}"
+                )
+
+    def exclusivity_violations(self) -> int:
+        """Count pairs of same-home-level nodes closer than the level radius.
+
+        The insertion algorithm only sees references reachable through its
+        candidate set, so -- exactly like the paper's Algorithm 1 -- the
+        exclusive property can be violated occasionally.  The count is
+        exposed for analysis; it does not affect query correctness.
+        """
+        by_level: Dict[int, List[_Node]] = {}
+        for node in self._nodes.values():
+            by_level.setdefault(node.home_level, []).append(node)
+        violations = 0
+        for level, nodes in by_level.items():
+            if level == 0:
+                continue
+            threshold = self.radius(level)
+            for i in range(len(nodes)):
+                for j in range(i + 1, len(nodes)):
+                    if self.distance(nodes[i].item, nodes[j].item) < threshold:
+                        violations += 1
+        return violations
+
+    def level_of(self, key: Hashable) -> int:
+        """Home level of the node stored under ``key``."""
+        try:
+            return self._nodes[key].home_level
+        except KeyError:
+            raise IndexError_(f"no item with key {key!r} in this index") from None
+
+    def __repr__(self) -> str:
+        return (
+            f"ReferenceNet(size={len(self)}, eps_prime={self.eps_prime}, "
+            f"nummax={self.nummax}, max_level={self._max_level}, "
+            f"distance={self.distance.name!r})"
+        )

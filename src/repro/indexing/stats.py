@@ -1,0 +1,78 @@
+"""Distance-evaluation accounting.
+
+The paper's query-performance figures (8-11) report the *fraction of
+distance computations* an index needs relative to a naive linear scan.
+Wall-clock time would mix algorithmic behaviour with implementation details,
+whereas distance counts are hardware-independent -- exactly what a
+reproduction should compare.  Every index in :mod:`repro.indexing` therefore
+routes its distance calls through a :class:`DistanceCounter`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.distances.base import Distance, SequenceLike
+
+
+class DistanceCounter:
+    """A counter of distance evaluations with checkpoint support."""
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._checkpoint = 0
+
+    @property
+    def total(self) -> int:
+        """Distance evaluations since construction (or the last reset)."""
+        return self._total
+
+    def increment(self, amount: int = 1) -> None:
+        """Record ``amount`` additional distance evaluations."""
+        self._total += amount
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self._total = 0
+        self._checkpoint = 0
+
+    def checkpoint(self) -> None:
+        """Remember the current total; see :meth:`since_checkpoint`."""
+        self._checkpoint = self._total
+
+    def since_checkpoint(self) -> int:
+        """Evaluations since the last :meth:`checkpoint` call."""
+        return self._total - self._checkpoint
+
+    def __repr__(self) -> str:
+        return f"DistanceCounter(total={self._total})"
+
+
+class CountingDistance:
+    """Wrap a :class:`~repro.distances.base.Distance` to count evaluations.
+
+    The wrapper is intentionally *not* a :class:`Distance` subclass: indexes
+    call it like a function and occasionally need the underlying measure's
+    metadata, which stays reachable through :attr:`inner`.
+    """
+
+    def __init__(self, inner: Distance, counter: Optional[DistanceCounter] = None) -> None:
+        self.inner = inner
+        self.counter = counter if counter is not None else DistanceCounter()
+
+    @property
+    def name(self) -> str:
+        """Name of the wrapped distance."""
+        return self.inner.name
+
+    @property
+    def is_metric(self) -> bool:
+        """Whether the wrapped distance is a metric."""
+        return self.inner.is_metric
+
+    def __call__(self, first: SequenceLike, second: SequenceLike) -> float:
+        self.counter.increment()
+        return self.inner(first, second)
+
+    def __repr__(self) -> str:
+        return f"CountingDistance({self.inner!r}, total={self.counter.total})"

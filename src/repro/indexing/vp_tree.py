@@ -1,0 +1,152 @@
+"""Vantage-point tree (Yianilos, SODA 1993) -- an additional classic baseline.
+
+The vp-tree recursively splits the data around a vantage point: items closer
+than the median distance go to the inner subtree, the rest to the outer
+subtree.  Range queries descend only into subtrees the triangle inequality
+cannot exclude.  The paper's related-work section cites the vp-tree as one
+of the established metric index structures; it is included here to broaden
+the baseline pool for the ablation benchmarks.
+
+The tree is built in bulk (:meth:`build`) because the classic structure is
+static; :meth:`add` simply marks the tree dirty and the next query rebuilds.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distances.base import Distance, SequenceLike
+from repro.exceptions import IndexError_
+from repro.indexing.base import MetricIndex, RangeMatch
+from repro.indexing.stats import DistanceCounter
+
+
+class _VPNode:
+    """One vp-tree node: a vantage point, a split radius, two subtrees."""
+
+    __slots__ = ("key", "item", "threshold", "inner", "outer")
+
+    def __init__(self, key: Hashable, item: object) -> None:
+        self.key = key
+        self.item = item
+        self.threshold: float = 0.0
+        self.inner: Optional["_VPNode"] = None
+        self.outer: Optional["_VPNode"] = None
+
+
+class VPTree(MetricIndex):
+    """Static vantage-point tree with bulk (re)building.
+
+    Parameters
+    ----------
+    distance:
+        A metric distance measure.
+    counter:
+        Optional shared distance counter.
+    rng:
+        Random generator used to pick vantage points (fixed seed by default
+        so builds are reproducible).
+    """
+
+    index_name = "vp-tree"
+
+    def __init__(
+        self,
+        distance: Distance,
+        counter: Optional[DistanceCounter] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(distance, counter, require_metric=True)
+        self._rng = rng or np.random.default_rng(0)
+        self._root: Optional[_VPNode] = None
+        self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # Content management
+    # ------------------------------------------------------------------ #
+    def add(self, item: object, key: Optional[Hashable] = None) -> Hashable:
+        if key is None:
+            key = self._auto_key()
+        if key in self._items:
+            raise IndexError_(f"key {key!r} is already present")
+        self._items[key] = item
+        self._dirty = True
+        return key
+
+    def remove(self, key: Hashable) -> object:
+        try:
+            item = self._items.pop(key)
+        except KeyError:
+            raise IndexError_(f"no item with key {key!r} in this index") from None
+        self._dirty = True
+        return item
+
+    def build(self) -> None:
+        """(Re)build the tree from the current contents.
+
+        Construction-time distances are not charged to the query counter.
+        """
+        pairs = list(self._items.items())
+        self._root = self._build(pairs)
+        self._dirty = False
+
+    def _build(self, pairs: List[Tuple[Hashable, object]]) -> Optional[_VPNode]:
+        if not pairs:
+            return None
+        pick = int(self._rng.integers(len(pairs)))
+        key, item = pairs[pick]
+        node = _VPNode(key, item)
+        rest = pairs[:pick] + pairs[pick + 1:]
+        if not rest:
+            return node
+        values = np.fromiter(
+            (self.distance(item, other) for _, other in rest),
+            dtype=np.float64,
+            count=len(rest),
+        )
+        node.threshold = float(np.median(values))
+        inner_pairs = [pair for pair, value in zip(rest, values) if value <= node.threshold]
+        outer_pairs = [pair for pair, value in zip(rest, values) if value > node.threshold]
+        node.inner = self._build(inner_pairs)
+        node.outer = self._build(outer_pairs)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def range_query(self, query: SequenceLike, radius: float) -> List[RangeMatch]:
+        if radius < 0:
+            raise IndexError_(f"radius must be non-negative, got {radius}")
+        if not self._items:
+            return []
+        if self._dirty:
+            self.build()
+        matches: List[RangeMatch] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            value = self._d(query, node.item)
+            if value <= radius:
+                matches.append(RangeMatch(node.key, node.item, value))
+            # Items in the inner subtree are within ``threshold`` of the
+            # vantage point; the triangle inequality excludes the subtree
+            # when the query is too far outside (or inside) that shell.
+            if value - radius <= node.threshold:
+                stack.append(node.inner)
+            if value + radius > node.threshold:
+                stack.append(node.outer)
+        return matches
+
+    def stats(self) -> dict:
+        """Simple node-count statistics."""
+        return {
+            "node_count": len(self._items),
+            "estimated_size_bytes": len(self._items) * 96,
+        }
+
+    def __repr__(self) -> str:
+        return f"VPTree(size={len(self)}, distance={self.distance.name!r})"

@@ -1,0 +1,32 @@
+"""Sequence substrate: alphabets, sequences, windows, and databases.
+
+The paper treats two kinds of sequences uniformly -- strings over a finite
+alphabet (DNA, proteins) and time series over a possibly multi-dimensional,
+infinite alphabet (pitch curves, trajectories).  This subpackage provides a
+single :class:`~repro.sequences.sequence.Sequence` type backed by numpy that
+covers both, plus the window machinery the framework's segmentation step
+relies on.
+"""
+
+from repro.sequences.alphabet import (
+    Alphabet,
+    DNA_ALPHABET,
+    PROTEIN_ALPHABET,
+    PITCH_ALPHABET,
+)
+from repro.sequences.sequence import Sequence, SequenceKind
+from repro.sequences.windows import Window, sliding_windows, tumbling_windows
+from repro.sequences.database import SequenceDatabase
+
+__all__ = [
+    "Alphabet",
+    "DNA_ALPHABET",
+    "PROTEIN_ALPHABET",
+    "PITCH_ALPHABET",
+    "Sequence",
+    "SequenceKind",
+    "Window",
+    "sliding_windows",
+    "tumbling_windows",
+    "SequenceDatabase",
+]

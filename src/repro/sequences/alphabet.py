@@ -1,0 +1,113 @@
+"""Finite alphabets for string sequences.
+
+An :class:`Alphabet` maps symbols (single characters) to small integer codes
+and back.  Encoding strings to integer arrays lets every distance in
+:mod:`repro.distances` operate on numpy arrays regardless of whether the
+underlying data is a protein string or a trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence as TypingSequence
+
+import numpy as np
+
+from repro.exceptions import AlphabetError
+
+
+class Alphabet:
+    """A finite, ordered set of single-character symbols.
+
+    Parameters
+    ----------
+    symbols:
+        The symbols of the alphabet, in code order.  Symbol ``symbols[i]``
+        is encoded as integer ``i``.
+    name:
+        Human-readable name used in ``repr`` and error messages.
+    """
+
+    def __init__(self, symbols: Iterable[str], name: str = "alphabet") -> None:
+        symbols = list(symbols)
+        if not symbols:
+            raise AlphabetError("an alphabet needs at least one symbol")
+        for symbol in symbols:
+            if not isinstance(symbol, str) or len(symbol) != 1:
+                raise AlphabetError(
+                    f"alphabet symbols must be single characters, got {symbol!r}"
+                )
+        if len(set(symbols)) != len(symbols):
+            raise AlphabetError("alphabet symbols must be unique")
+        self._symbols = tuple(symbols)
+        self._codes = {symbol: code for code, symbol in enumerate(self._symbols)}
+        self.name = name
+
+    @property
+    def symbols(self) -> tuple:
+        """The symbols in code order."""
+        return self._symbols
+
+    @property
+    def size(self) -> int:
+        """Number of symbols, i.e. ``|Sigma|`` in the paper's notation."""
+        return len(self._symbols)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, symbol: object) -> bool:
+        return symbol in self._codes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        return f"Alphabet(name={self.name!r}, size={self.size})"
+
+    def code(self, symbol: str) -> int:
+        """Return the integer code of ``symbol``.
+
+        Raises
+        ------
+        AlphabetError
+            If the symbol is not part of the alphabet.
+        """
+        try:
+            return self._codes[symbol]
+        except KeyError:
+            raise AlphabetError(
+                f"symbol {symbol!r} is not in {self.name} (size {self.size})"
+            ) from None
+
+    def symbol(self, code: int) -> str:
+        """Return the symbol for an integer ``code``."""
+        if not 0 <= code < self.size:
+            raise AlphabetError(
+                f"code {code} is out of range for {self.name} (size {self.size})"
+            )
+        return self._symbols[code]
+
+    def encode(self, text: str | TypingSequence[str]) -> np.ndarray:
+        """Encode a string (or sequence of symbols) into an int array."""
+        return np.fromiter(
+            (self.code(symbol) for symbol in text), dtype=np.int64, count=len(text)
+        )
+
+    def decode(self, codes: Iterable[int]) -> str:
+        """Decode an iterable of integer codes back into a string."""
+        return "".join(self.symbol(int(code)) for code in codes)
+
+
+#: The four-letter DNA alphabet used as a running example in the paper.
+DNA_ALPHABET = Alphabet("ACGT", name="dna")
+
+#: The twenty standard amino acids (PROTEINS dataset, |Sigma| = 20).
+PROTEIN_ALPHABET = Alphabet("ACDEFGHIKLMNPQRSTVWY", name="protein")
+
+#: The twelve pitch classes used by the SONGS dataset (values 0..11).
+PITCH_ALPHABET = Alphabet("0123456789ab", name="pitch")

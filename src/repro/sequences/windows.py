@@ -1,0 +1,160 @@
+"""Window extraction: the raw material of the segmentation step.
+
+The framework partitions every database sequence into *tumbling* (i.e.
+non-overlapping, fixed-length) windows of length ``lambda / 2`` and extracts
+*sliding* segments of several lengths from the query.  A :class:`Window`
+couples the extracted subsequence with its provenance (source sequence id,
+start offset, window ordinal) so that candidate generation can later stitch
+consecutive windows back into supersequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.exceptions import SequenceError
+from repro.sequences.sequence import Sequence
+
+
+@dataclass(frozen=True)
+class Window:
+    """A contiguous piece of a sequence, with provenance.
+
+    Attributes
+    ----------
+    sequence:
+        The extracted subsequence itself.
+    source_id:
+        Identifier of the sequence this window was cut from.
+    start:
+        Zero-based start offset of the window within the source sequence.
+    ordinal:
+        The index of this window in the tumbling partition of its source
+        (``start // window_length`` for tumbling windows, position for
+        sliding windows).  Two windows of the same source with consecutive
+        ordinals are adjacent in the original sequence; candidate
+        generation relies on this to concatenate matches.
+    """
+
+    sequence: Sequence
+    source_id: str
+    start: int
+    ordinal: int = field(default=0)
+
+    @property
+    def length(self) -> int:
+        """Number of elements in the window."""
+        return len(self.sequence)
+
+    @property
+    def stop(self) -> int:
+        """Zero-based exclusive end offset within the source sequence."""
+        return self.start + self.length
+
+    @property
+    def key(self) -> tuple:
+        """A hashable identity ``(source_id, start, length)``."""
+        return (self.source_id, self.start, self.length)
+
+    def is_adjacent_to(self, other: "Window") -> bool:
+        """True when ``other`` starts exactly where this window ends."""
+        return self.source_id == other.source_id and other.start == self.stop
+
+    def __repr__(self) -> str:
+        return (
+            f"Window(source={self.source_id!r}, start={self.start}, "
+            f"length={self.length}, ordinal={self.ordinal})"
+        )
+
+
+def tumbling_windows(
+    sequence: Sequence,
+    window_length: int,
+    source_id: Optional[str] = None,
+    include_tail: bool = False,
+) -> Iterator[Window]:
+    """Partition ``sequence`` into non-overlapping windows of fixed length.
+
+    This is the paper's step 1: each database sequence ``X`` is partitioned
+    into ``|X| / l`` windows ``w_i`` of length ``l = lambda / 2``.
+
+    Parameters
+    ----------
+    sequence:
+        The sequence to partition.
+    window_length:
+        Length ``l`` of every window.
+    source_id:
+        Overrides the sequence's own ``seq_id`` in the produced windows.
+    include_tail:
+        When true, a final shorter window is produced if the sequence length
+        is not an exact multiple of ``window_length``.  The paper drops the
+        tail; the option exists because it is occasionally useful to index
+        the leftover elements too.
+
+    Yields
+    ------
+    Window
+        Consecutive windows with increasing ``ordinal``.
+    """
+    if window_length < 1:
+        raise SequenceError(f"window_length must be >= 1, got {window_length}")
+    origin = source_id if source_id is not None else (sequence.seq_id or "seq")
+    ordinal = 0
+    for start in range(0, len(sequence) - window_length + 1, window_length):
+        yield Window(
+            sequence=sequence.subsequence(start, start + window_length),
+            source_id=origin,
+            start=start,
+            ordinal=ordinal,
+        )
+        ordinal += 1
+    if include_tail:
+        tail_start = (len(sequence) // window_length) * window_length
+        if tail_start < len(sequence) and len(sequence) % window_length:
+            yield Window(
+                sequence=sequence.subsequence(tail_start, len(sequence)),
+                source_id=origin,
+                start=tail_start,
+                ordinal=ordinal,
+            )
+
+
+def sliding_windows(
+    sequence: Sequence,
+    window_length: int,
+    step: int = 1,
+    source_id: Optional[str] = None,
+) -> Iterator[Window]:
+    """Extract overlapping windows of fixed length from ``sequence``.
+
+    The query side of the framework (step 3) extracts *all* segments with
+    lengths between ``lambda/2 - lambda0`` and ``lambda/2 + lambda0``;
+    this helper produces the segments of one particular length.
+
+    Parameters
+    ----------
+    sequence:
+        The sequence to slide over.
+    window_length:
+        Length of each extracted segment.
+    step:
+        Offset between consecutive segment starts (1 = every position).
+    source_id:
+        Overrides the sequence's own ``seq_id`` in the produced windows.
+    """
+    if window_length < 1:
+        raise SequenceError(f"window_length must be >= 1, got {window_length}")
+    if step < 1:
+        raise SequenceError(f"step must be >= 1, got {step}")
+    origin = source_id if source_id is not None else (sequence.seq_id or "seq")
+    if window_length > len(sequence):
+        return
+    for ordinal, start in enumerate(range(0, len(sequence) - window_length + 1, step)):
+        yield Window(
+            sequence=sequence.subsequence(start, start + window_length),
+            source_id=origin,
+            start=start,
+            ordinal=ordinal,
+        )

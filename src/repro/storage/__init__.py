@@ -1,0 +1,10 @@
+"""Persistence of sequence databases and window collections."""
+
+from repro.storage.persistence import (
+    save_database,
+    load_database,
+    save_windows,
+    load_windows,
+)
+
+__all__ = ["save_database", "load_database", "save_windows", "load_windows"]

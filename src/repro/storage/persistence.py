@@ -1,0 +1,141 @@
+"""Saving and loading sequence databases and windows.
+
+The on-disk format is a single ``.npz`` archive (numpy's zipped container)
+plus a JSON metadata blob stored inside it.  The format is intentionally
+simple: the expensive artefact in this system is the *index*, and an index
+is cheap to rebuild from its windows (the paper's preprocessing step), so we
+persist the data and rebuild structures on load rather than pickling
+pointer-heavy hierarchies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.sequences.alphabet import Alphabet
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence, SequenceKind
+from repro.sequences.windows import Window
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_database(database: SequenceDatabase, path: PathLike) -> None:
+    """Persist ``database`` (sequences, ids, kind, alphabet) to ``path``."""
+    path = Path(path)
+    arrays = {}
+    entries = []
+    for position, sequence in enumerate(database):
+        arrays[f"seq_{position}"] = np.asarray(sequence.values)
+        entry = {
+            "seq_id": sequence.seq_id,
+            "kind": sequence.kind.value,
+            "alphabet": list(sequence.alphabet.symbols) if sequence.alphabet else None,
+            "alphabet_name": sequence.alphabet.name if sequence.alphabet else None,
+        }
+        entries.append(entry)
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "name": database.name,
+        "kind": database.kind.value,
+        "entries": entries,
+    }
+    arrays["metadata"] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    try:
+        np.savez_compressed(path, **arrays)
+    except OSError as error:
+        raise StorageError(f"could not write database to {path}: {error}") from error
+
+
+def load_database(path: PathLike) -> SequenceDatabase:
+    """Load a database previously written by :func:`save_database`."""
+    path = Path(path)
+    try:
+        with np.load(_with_suffix(path), allow_pickle=False) as archive:
+            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+            if metadata.get("format_version") != _FORMAT_VERSION:
+                raise StorageError(
+                    f"unsupported database format version {metadata.get('format_version')}"
+                )
+            kind = SequenceKind(metadata["kind"])
+            database = SequenceDatabase(kind, name=metadata["name"])
+            for position, entry in enumerate(metadata["entries"]):
+                values = archive[f"seq_{position}"]
+                alphabet = None
+                if entry["alphabet"] is not None:
+                    alphabet = Alphabet(entry["alphabet"], name=entry["alphabet_name"] or "alphabet")
+                sequence = Sequence(values, kind, entry["seq_id"], alphabet)
+                database.add(sequence)
+            return database
+    except FileNotFoundError as error:
+        raise StorageError(f"no database file at {path}") from error
+
+
+def save_windows(windows: List[Window], path: PathLike) -> None:
+    """Persist a window collection (values + provenance) to ``path``."""
+    path = Path(path)
+    arrays = {}
+    entries = []
+    for position, window in enumerate(windows):
+        arrays[f"win_{position}"] = np.asarray(window.sequence.values)
+        entries.append(
+            {
+                "source_id": window.source_id,
+                "start": window.start,
+                "ordinal": window.ordinal,
+                "kind": window.sequence.kind.value,
+                "alphabet": (
+                    list(window.sequence.alphabet.symbols) if window.sequence.alphabet else None
+                ),
+            }
+        )
+    metadata = {"format_version": _FORMAT_VERSION, "entries": entries}
+    arrays["metadata"] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    try:
+        np.savez_compressed(path, **arrays)
+    except OSError as error:
+        raise StorageError(f"could not write windows to {path}: {error}") from error
+
+
+def load_windows(path: PathLike) -> List[Window]:
+    """Load windows previously written by :func:`save_windows`."""
+    path = Path(path)
+    try:
+        with np.load(_with_suffix(path), allow_pickle=False) as archive:
+            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+            if metadata.get("format_version") != _FORMAT_VERSION:
+                raise StorageError(
+                    f"unsupported window format version {metadata.get('format_version')}"
+                )
+            windows: List[Window] = []
+            for position, entry in enumerate(metadata["entries"]):
+                values = archive[f"win_{position}"]
+                kind = SequenceKind(entry["kind"])
+                alphabet = Alphabet(entry["alphabet"]) if entry["alphabet"] else None
+                sequence = Sequence(values, kind, entry["source_id"], alphabet)
+                windows.append(
+                    Window(
+                        sequence=sequence,
+                        source_id=entry["source_id"],
+                        start=entry["start"],
+                        ordinal=entry["ordinal"],
+                    )
+                )
+            return windows
+    except FileNotFoundError as error:
+        raise StorageError(f"no window file at {path}") from error
+
+
+def _with_suffix(path: Path) -> Path:
+    """``np.savez`` appends ``.npz`` when missing; mirror that on load."""
+    if path.suffix == ".npz" or path.exists():
+        return path
+    candidate = path.with_suffix(path.suffix + ".npz")
+    return candidate if candidate.exists() else path

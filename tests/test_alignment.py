@@ -1,0 +1,132 @@
+"""Tests for the shared dynamic-programming alignment kernels."""
+
+import numpy as np
+import pytest
+
+from repro import DistanceError
+from repro.distances.alignment import (
+    Alignment,
+    edit_table,
+    edit_traceback,
+    warping_table,
+    warping_traceback,
+)
+
+
+class TestWarpingTable:
+    def test_sum_aggregation_matches_manual(self):
+        cost = np.array([[0.0, 2.0], [2.0, 0.0]])
+        table = warping_table(cost, aggregate="sum")
+        assert table[-1, -1] == 0.0
+
+    def test_max_aggregation(self):
+        cost = np.array([[0.0, 2.0], [2.0, 1.0]])
+        table = warping_table(cost, aggregate="max")
+        assert table[-1, -1] == 1.0
+
+    def test_single_cell(self):
+        table = warping_table(np.array([[3.0]]), aggregate="sum")
+        assert table[0, 0] == 3.0
+
+    def test_band_blocks_far_cells(self):
+        cost = np.zeros((4, 4))
+        table = warping_table(cost, aggregate="sum", band=1)
+        assert np.isinf(table[0, 3])
+        assert not np.isinf(table[3, 3])
+
+    def test_band_infeasible_leaves_inf(self):
+        cost = np.zeros((1, 5))
+        table = warping_table(cost, aggregate="sum", band=1)
+        assert np.isinf(table[0, 4])
+
+    def test_invalid_aggregate(self):
+        with pytest.raises(DistanceError):
+            warping_table(np.zeros((2, 2)), aggregate="median")
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(DistanceError):
+            warping_table(np.zeros((0, 3)))
+
+    def test_monotone_in_costs(self):
+        low = warping_table(np.ones((3, 3)), aggregate="sum")[-1, -1]
+        high = warping_table(np.ones((3, 3)) * 2, aggregate="sum")[-1, -1]
+        assert high >= low
+
+
+class TestWarpingTraceback:
+    def test_path_endpoints(self):
+        cost = np.array([[0.0, 1.0, 4.0], [2.0, 0.0, 1.0]])
+        table = warping_table(cost, aggregate="sum")
+        alignment = warping_traceback(table, cost, aggregate="sum")
+        assert alignment.couplings[0] == (0, 0)
+        assert alignment.couplings[-1] == (1, 2)
+
+    def test_path_is_monotone_and_continuous(self):
+        cost = np.abs(np.subtract.outer(np.arange(5.0), np.arange(4.0)))
+        table = warping_table(cost, aggregate="sum")
+        alignment = warping_traceback(table, cost, aggregate="sum")
+        for (i1, j1), (i2, j2) in zip(alignment.couplings, alignment.couplings[1:]):
+            assert 0 <= i2 - i1 <= 1
+            assert 0 <= j2 - j1 <= 1
+            assert (i2 - i1) + (j2 - j1) >= 1
+
+    def test_infeasible_band_raises(self):
+        cost = np.zeros((1, 5))
+        table = warping_table(cost, aggregate="sum", band=1)
+        with pytest.raises(DistanceError):
+            warping_traceback(table, cost)
+
+
+class TestEditTable:
+    def test_unit_costs_reproduce_levenshtein(self):
+        # "ab" -> "b": one deletion.
+        substitution = np.array([[1.0], [0.0]])
+        deletion = np.ones(2)
+        insertion = np.ones(1)
+        table = edit_table(substitution, deletion, insertion)
+        assert table[-1, -1] == 1.0
+
+    def test_first_row_and_column_are_cumulative_gaps(self):
+        substitution = np.zeros((2, 3))
+        deletion = np.array([1.0, 2.0])
+        insertion = np.array([3.0, 4.0, 5.0])
+        table = edit_table(substitution, deletion, insertion)
+        assert table[0].tolist() == [0.0, 3.0, 7.0, 12.0]
+        assert table[:, 0].tolist() == [0.0, 1.0, 3.0]
+
+    def test_mismatched_gap_vectors_rejected(self):
+        with pytest.raises(DistanceError):
+            edit_table(np.zeros((2, 2)), np.ones(3), np.ones(2))
+
+    def test_empty_substitution_rejected(self):
+        with pytest.raises(DistanceError):
+            edit_table(np.zeros((0, 2)), np.ones(0), np.ones(2))
+
+
+class TestEditTraceback:
+    def test_couplings_are_strictly_increasing(self):
+        substitution = np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]])
+        deletion = np.ones(3)
+        insertion = np.ones(3)
+        table = edit_table(substitution, deletion, insertion)
+        alignment = edit_traceback(table, substitution, deletion, insertion)
+        assert alignment.cost == 0.0
+        assert alignment.couplings == ((0, 0), (1, 1), (2, 2))
+
+    def test_alignment_length_bounded(self):
+        substitution = np.ones((3, 4))
+        deletion = np.ones(3)
+        insertion = np.ones(4)
+        table = edit_table(substitution, deletion, insertion)
+        alignment = edit_traceback(table, substitution, deletion, insertion)
+        assert len(alignment) <= 3
+
+
+class TestAlignmentDataclass:
+    def test_covers_all_indices(self):
+        alignment = Alignment(((0, 0), (1, 1)), cost=0.0)
+        assert alignment.covers_all_indices(2, 2)
+        assert not alignment.covers_all_indices(3, 2)
+
+    def test_len(self):
+        assert len(Alignment(((0, 0),), cost=1.0)) == 1

@@ -1,0 +1,96 @@
+"""Tests for repro.sequences.alphabet."""
+
+import numpy as np
+import pytest
+
+from repro import Alphabet, AlphabetError, DNA_ALPHABET, PITCH_ALPHABET, PROTEIN_ALPHABET
+
+
+class TestAlphabetConstruction:
+    def test_basic_construction(self):
+        alphabet = Alphabet("abc", name="letters")
+        assert alphabet.size == 3
+        assert len(alphabet) == 3
+        assert alphabet.name == "letters"
+
+    def test_symbols_preserved_in_order(self):
+        alphabet = Alphabet("zyx")
+        assert alphabet.symbols == ("z", "y", "x")
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("")
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("aba")
+
+    def test_multichar_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet(["ab", "c"])
+
+    def test_non_string_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet([1, 2, 3])
+
+    def test_equality_and_hash(self):
+        assert Alphabet("ACGT") == Alphabet("ACGT", name="other")
+        assert Alphabet("ACGT") != Alphabet("TGCA")  # same symbols, different order
+        assert hash(Alphabet("ACGT")) == hash(Alphabet("ACGT"))
+
+    def test_equality_with_non_alphabet(self):
+        assert Alphabet("AC") != "AC"
+
+    def test_repr_mentions_name_and_size(self):
+        text = repr(Alphabet("ACGT", name="dna"))
+        assert "dna" in text and "4" in text
+
+
+class TestEncodingDecoding:
+    def test_code_roundtrip(self):
+        for code, symbol in enumerate(DNA_ALPHABET.symbols):
+            assert DNA_ALPHABET.code(symbol) == code
+            assert DNA_ALPHABET.symbol(code) == symbol
+
+    def test_encode_returns_int_array(self):
+        encoded = DNA_ALPHABET.encode("ACGT")
+        assert encoded.dtype == np.int64
+        assert encoded.tolist() == [0, 1, 2, 3]
+
+    def test_decode_roundtrip(self):
+        text = "ACGGTTACA"
+        assert DNA_ALPHABET.decode(DNA_ALPHABET.encode(text)) == text
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(AlphabetError):
+            DNA_ALPHABET.code("X")
+
+    def test_encode_with_unknown_symbol_raises(self):
+        with pytest.raises(AlphabetError):
+            DNA_ALPHABET.encode("ACGX")
+
+    def test_out_of_range_code_raises(self):
+        with pytest.raises(AlphabetError):
+            DNA_ALPHABET.symbol(4)
+        with pytest.raises(AlphabetError):
+            DNA_ALPHABET.symbol(-1)
+
+    def test_contains(self):
+        assert "A" in DNA_ALPHABET
+        assert "X" not in DNA_ALPHABET
+
+
+class TestBuiltinAlphabets:
+    def test_dna_size(self):
+        assert DNA_ALPHABET.size == 4
+
+    def test_protein_size(self):
+        assert PROTEIN_ALPHABET.size == 20
+
+    def test_pitch_size(self):
+        assert PITCH_ALPHABET.size == 12
+
+    def test_protein_symbols_are_unique_uppercase(self):
+        symbols = PROTEIN_ALPHABET.symbols
+        assert len(set(symbols)) == 20
+        assert all(symbol.isupper() for symbol in symbols)

@@ -1,0 +1,94 @@
+"""Tests for the brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiscreteFrechet,
+    Euclidean,
+    MatcherConfig,
+    Sequence,
+    SequenceDatabase,
+    SequenceKind,
+    brute_force_longest,
+    brute_force_matches,
+    brute_force_nearest,
+)
+from repro.core.bruteforce import count_brute_force_pairs
+
+
+@pytest.fixture
+def tiny_db():
+    db = SequenceDatabase(SequenceKind.TIME_SERIES)
+    db.add(Sequence.from_values([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], seq_id="x"))
+    db.add(Sequence.from_values([10.0, 11.0, 12.0, 13.0, 14.0, 15.0], seq_id="y"))
+    return db
+
+
+@pytest.fixture
+def config():
+    return MatcherConfig(min_length=4, max_shift=1)
+
+
+class TestBruteForceMatches:
+    def test_finds_exact_copy(self, tiny_db, config):
+        query = Sequence.from_values([2.0, 3.0, 4.0, 5.0], seq_id="q")
+        matches = brute_force_matches(query, tiny_db, DiscreteFrechet(), 0.0, config)
+        spans = {(m.source_id, m.db_start, m.db_stop) for m in matches if m.distance == 0.0}
+        assert ("x", 2, 6) in spans
+
+    def test_all_results_satisfy_constraints(self, tiny_db, config):
+        query = Sequence.from_values([2.0, 3.0, 4.0, 5.0, 6.0], seq_id="q")
+        matches = brute_force_matches(query, tiny_db, DiscreteFrechet(), 1.5, config)
+        for match in matches:
+            assert match.distance <= 1.5
+            assert match.query_length >= config.min_length
+            assert match.db_length >= config.min_length
+            assert abs(match.query_length - match.db_length) <= config.max_shift
+
+    def test_no_matches_at_tiny_radius_for_distant_query(self, tiny_db, config):
+        query = Sequence.from_values([100.0, 101.0, 102.0, 103.0], seq_id="q")
+        assert brute_force_matches(query, tiny_db, DiscreteFrechet(), 0.5, config) == []
+
+    def test_respects_equal_length_for_lockstep(self, tiny_db):
+        config = MatcherConfig(min_length=4, max_shift=0)
+        query = Sequence.from_values([2.0, 3.0, 4.0, 5.0], seq_id="q")
+        matches = brute_force_matches(query, tiny_db, Euclidean(), 0.0, config)
+        assert matches
+        assert all(m.query_length == m.db_length for m in matches)
+
+
+class TestBruteForceLongest:
+    def test_prefers_longer_matches(self, tiny_db, config):
+        query = Sequence.from_values([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], seq_id="q")
+        best = brute_force_longest(query, tiny_db, DiscreteFrechet(), 0.0, config)
+        assert best is not None
+        assert best.length == 6
+
+    def test_none_when_no_match(self, tiny_db, config):
+        query = Sequence.from_values([50.0, 51.0, 52.0, 53.0], seq_id="q")
+        assert brute_force_longest(query, tiny_db, DiscreteFrechet(), 0.1, config) is None
+
+
+class TestBruteForceNearest:
+    def test_nearest_is_zero_for_planted_copy(self, tiny_db, config):
+        query = Sequence.from_values([3.0, 4.0, 5.0, 6.0], seq_id="q")
+        best = brute_force_nearest(query, tiny_db, DiscreteFrechet(), config)
+        assert best is not None
+        assert best.distance == 0.0
+        assert best.source_id == "x"
+
+    def test_nearest_reports_smallest_distance(self, tiny_db, config):
+        query = Sequence.from_values([9.4, 10.4, 11.4, 12.4], seq_id="q")
+        best = brute_force_nearest(query, tiny_db, DiscreteFrechet(), config)
+        all_matches = brute_force_matches(query, tiny_db, DiscreteFrechet(), 100.0, config)
+        assert best.distance == pytest.approx(min(m.distance for m in all_matches))
+
+
+class TestPairCounting:
+    def test_counts_positive_and_scale(self, tiny_db, config):
+        query = Sequence.from_values([0.0, 1.0, 2.0, 3.0, 4.0], seq_id="q")
+        count = count_brute_force_pairs(query, tiny_db, config)
+        assert count > 0
+        enumerated = brute_force_matches(query, tiny_db, DiscreteFrechet(), np.inf, config)
+        assert len(enumerated) == count

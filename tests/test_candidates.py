@@ -1,0 +1,109 @@
+"""Tests for candidate-chain generation (step 5a)."""
+
+import pytest
+
+from repro import MatcherConfig, SegmentMatch, Sequence, Window, chain_segment_matches
+
+
+def make_window(source, start, ordinal, length=5):
+    sequence = Sequence.from_values(range(start, start + length), seq_id=source)
+    return Window(sequence=sequence, source_id=source, start=start, ordinal=ordinal)
+
+
+def make_match(source, ordinal, query_start, window_length=5, query_length=5):
+    window = make_window(source, ordinal * window_length, ordinal, window_length)
+    return SegmentMatch(
+        query_start=query_start, query_length=query_length, window=window, distance=0.5
+    )
+
+
+@pytest.fixture
+def config():
+    return MatcherConfig(min_length=10, max_shift=1)
+
+
+class TestChaining:
+    def test_empty_input(self, config):
+        assert chain_segment_matches([], config) == []
+
+    def test_single_match_yields_single_chain(self, config):
+        chains = chain_segment_matches([make_match("s", 0, 3)], config)
+        assert len(chains) == 1
+        assert chains[0].window_count == 1
+
+    def test_consecutive_windows_chain(self, config):
+        matches = [make_match("s", 0, 0), make_match("s", 1, 5)]
+        chains = chain_segment_matches(matches, config)
+        assert chains[0].window_count == 2
+        assert chains[0].db_start == 0
+        assert chains[0].db_stop == 10
+        assert chains[0].query_start == 0
+        assert chains[0].query_stop == 10
+
+    def test_query_gap_within_tolerance_chains(self, config):
+        # Second segment starts one position later than the first one ends.
+        matches = [make_match("s", 0, 0), make_match("s", 1, 6)]
+        chains = chain_segment_matches(matches, config)
+        assert chains[0].window_count == 2
+
+    def test_query_gap_beyond_tolerance_breaks_chain(self, config):
+        matches = [make_match("s", 0, 0), make_match("s", 1, 9)]
+        chains = chain_segment_matches(matches, config)
+        assert all(chain.window_count == 1 for chain in chains)
+        assert len(chains) == 2
+
+    def test_non_consecutive_windows_do_not_chain(self, config):
+        matches = [make_match("s", 0, 0), make_match("s", 2, 10)]
+        chains = chain_segment_matches(matches, config)
+        assert all(chain.window_count == 1 for chain in chains)
+
+    def test_windows_from_different_sources_do_not_chain(self, config):
+        matches = [make_match("s1", 0, 0), make_match("s2", 1, 5)]
+        chains = chain_segment_matches(matches, config)
+        assert all(chain.window_count == 1 for chain in chains)
+
+    def test_three_way_chain(self, config):
+        matches = [make_match("s", 0, 0), make_match("s", 1, 5), make_match("s", 2, 10)]
+        chains = chain_segment_matches(matches, config)
+        assert chains[0].window_count == 3
+        assert chains[0].db_length == 15
+
+    def test_chains_sorted_longest_first(self, config):
+        matches = [
+            make_match("s", 0, 0),
+            make_match("s", 1, 5),
+            make_match("other", 4, 0),
+        ]
+        chains = chain_segment_matches(matches, config)
+        assert chains[0].window_count == 2
+        assert chains[-1].window_count == 1
+
+    def test_branching_matches_produce_multiple_chains(self, config):
+        # Two different query segments match the same second window: the
+        # chain uses one of them, the other stays as its own (sub)chain.
+        matches = [
+            make_match("s", 0, 0),
+            make_match("s", 1, 5),
+            make_match("s", 1, 20),
+        ]
+        chains = chain_segment_matches(matches, config)
+        assert chains[0].window_count == 2
+        assert sum(chain.window_count for chain in chains) >= 3
+
+    def test_unordered_input_still_chains(self, config):
+        matches = [make_match("s", 2, 10), make_match("s", 0, 0), make_match("s", 1, 5)]
+        chains = chain_segment_matches(matches, config)
+        assert chains[0].window_count == 3
+
+
+class TestChainProperties:
+    def test_repr(self, config):
+        chain = chain_segment_matches([make_match("s", 0, 2)], config)[0]
+        assert "s" in repr(chain)
+        assert "windows=1" in repr(chain)
+
+    def test_query_span_covers_all_matches(self, config):
+        matches = [make_match("s", 0, 4), make_match("s", 1, 9)]
+        chain = chain_segment_matches(matches, config)[0]
+        assert chain.query_start == 4
+        assert chain.query_stop == 14

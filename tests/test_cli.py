@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.storage import load_database
+
+
+@pytest.fixture
+def generated_db(tmp_path):
+    path = tmp_path / "songs.npz"
+    code = main(["generate", "songs", str(path), "--windows", "80", "--seed", "1"])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_database(self, tmp_path, capsys):
+        path = tmp_path / "proteins.npz"
+        code = main(["generate", "proteins", str(path), "--windows", "60"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "wrote" in captured.out
+        assert load_database(path).kind.value == "string"
+
+    def test_generate_traj(self, tmp_path):
+        path = tmp_path / "traj.npz"
+        assert main(["generate", "traj", str(path), "--windows", "40"]) == 0
+        assert len(load_database(path)) > 0
+
+
+class TestSearch:
+    def test_search_songs(self, generated_db, capsys):
+        code = main(
+            [
+                "search",
+                str(generated_db),
+                "--dataset",
+                "songs",
+                "--radius",
+                "3.0",
+                "--min-length",
+                "20",
+                "--max-shift",
+                "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "query cut from" in captured.out
+
+    def test_search_missing_database(self, tmp_path, capsys):
+        code = main(
+            ["search", str(tmp_path / "absent.npz"), "--dataset", "songs"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error" in captured.err
+
+
+class TestDistribution:
+    def test_distribution_output(self, capsys):
+        code = main(["distribution", "songs", "--windows", "40", "--pairs", "100"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "pairwise window distances" in captured.out
+        assert "mean=" in captured.out
+
+    def test_distribution_rejects_bad_pairing(self, capsys):
+        code = main(["distribution", "proteins", "--distance", "erp", "--windows", "30"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error" in captured.err
+
+
+class TestCompareIndexes:
+    def test_compare_output_contains_all_indexes(self, capsys):
+        code = main(
+            [
+                "compare-indexes",
+                "traj",
+                "--windows",
+                "60",
+                "--queries",
+                "2",
+                "--radii",
+                "5",
+                "20",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        for label in ("RN", "CT", "MV-5"):
+            assert label in captured.out
+        assert "% of naive" in captured.out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

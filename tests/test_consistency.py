@@ -1,0 +1,119 @@
+"""Tests of the consistency property (Definition 1) and its empirical checker.
+
+The paper proves consistency analytically for Euclidean, Hamming, DTW, ERP,
+the discrete Fréchet distance and the Levenshtein distance.  Here we verify
+the claim empirically with the library's checker on random inputs, and also
+confirm the checker can detect an inconsistent measure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    DTW,
+    ERP,
+    DiscreteFrechet,
+    Distance,
+    DistanceError,
+    Euclidean,
+    Hamming,
+    Levenshtein,
+    check_consistency,
+)
+
+floats = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+short_sequences = st.lists(floats, min_size=2, max_size=6)
+symbols = st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=6)
+
+CONSISTENT_ELASTIC = [DTW(), ERP(), DiscreteFrechet()]
+
+
+class TestConsistentDistances:
+    @settings(max_examples=20, deadline=None)
+    @given(query=short_sequences, target=short_sequences)
+    def test_elastic_distances_are_consistent(self, query, target):
+        for distance in CONSISTENT_ELASTIC:
+            report = check_consistency(distance, query, target, max_subsequences=None)
+            assert report.consistent, report.violations
+
+    @settings(max_examples=20, deadline=None)
+    @given(query=symbols, target=symbols)
+    def test_levenshtein_is_consistent(self, query, target):
+        report = check_consistency(Levenshtein(), query, target, max_subsequences=None)
+        assert report.consistent, report.violations
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        data=st.data(),
+    )
+    def test_lockstep_distances_are_consistent(self, n, data):
+        query = data.draw(st.lists(floats, min_size=n, max_size=n))
+        target = data.draw(st.lists(floats, min_size=n, max_size=n))
+        for distance in (Euclidean(), Hamming()):
+            report = check_consistency(distance, query, target, max_subsequences=None)
+            assert report.consistent, report.violations
+
+    def test_flags_match_paper_claims(self):
+        for distance in (Euclidean(), Hamming(), Levenshtein(), DTW(), ERP(), DiscreteFrechet()):
+            assert distance.is_consistent
+
+
+class _AntiConsistent(Distance):
+    """A deliberately inconsistent measure: shorter pairs are *farther*.
+
+    Used to confirm that the empirical checker actually detects violations.
+    """
+
+    name = "anti-consistent"
+    is_metric = False
+    is_consistent = False
+
+    def compute(self, first, second):
+        return 100.0 / (first.shape[0] + second.shape[0])
+
+
+class TestChecker:
+    def test_detects_inconsistency(self):
+        report = check_consistency(
+            _AntiConsistent(), [1.0, 2.0, 3.0, 4.0], [1.0, 2.0, 3.0, 4.0], max_subsequences=None
+        )
+        assert not report.consistent
+        assert report.violations
+        violation = report.violations[0]
+        assert violation.best_subsequence_distance > violation.whole_distance
+
+    def test_report_truthiness(self):
+        good = check_consistency(Euclidean(), [1.0, 2.0], [1.0, 2.0], max_subsequences=None)
+        assert bool(good)
+        bad = check_consistency(
+            _AntiConsistent(), [1.0, 2.0, 3.0], [1.0, 2.0, 3.0], max_subsequences=None
+        )
+        assert not bool(bad)
+
+    def test_min_length_restricts_pairs(self):
+        full = check_consistency(Euclidean(), [1.0, 2.0, 3.0], [1.0, 2.0, 3.0], max_subsequences=None)
+        restricted = check_consistency(
+            Euclidean(), [1.0, 2.0, 3.0], [1.0, 2.0, 3.0], min_length=3, max_subsequences=None
+        )
+        assert restricted.pairs_checked < full.pairs_checked
+
+    def test_invalid_min_length(self):
+        with pytest.raises(DistanceError):
+            check_consistency(Euclidean(), [1.0], [1.0], min_length=0)
+
+    def test_sampling_limits_pairs(self):
+        rng = np.random.default_rng(0)
+        query = rng.normal(size=10)
+        target = rng.normal(size=10)
+        report = check_consistency(DTW(), query, target, max_subsequences=5)
+        assert report.consistent
+
+    def test_sampling_is_deterministic_by_default(self):
+        rng = np.random.default_rng(4)
+        query = rng.normal(size=9)
+        target = rng.normal(size=9)
+        first = check_consistency(ERP(), query, target, max_subsequences=10)
+        second = check_consistency(ERP(), query, target, max_subsequences=10)
+        assert first.pairs_checked == second.pairs_checked

@@ -1,0 +1,140 @@
+"""Tests for the cover tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import CoverTree, DTW, DistanceError, Euclidean, IndexError_, LinearScanIndex
+
+
+def build(points, **kwargs):
+    tree = CoverTree(Euclidean(), **kwargs)
+    for position, point in enumerate(points):
+        tree.add(np.asarray(point, dtype=float), key=position)
+    return tree
+
+
+@pytest.fixture
+def points(rng):
+    return [rng.normal(scale=5.0, size=3) for _ in range(80)]
+
+
+class TestConstruction:
+    def test_rejects_non_metric(self):
+        with pytest.raises(DistanceError):
+            CoverTree(DTW())
+
+    def test_rejects_invalid_eps_prime(self):
+        with pytest.raises(IndexError_):
+            CoverTree(Euclidean(), eps_prime=-1.0)
+
+    def test_single_node(self):
+        tree = build([[0.0, 0.0, 0.0]])
+        assert len(tree) == 1
+        tree.check_invariants()
+
+    def test_duplicate_key_rejected(self, points):
+        tree = build(points[:5])
+        with pytest.raises(IndexError_):
+            tree.add(points[0], key=0)
+
+
+class TestInvariants:
+    def test_invariants_after_insertion(self, points):
+        tree = build(points)
+        tree.check_invariants()
+
+    def test_every_node_has_single_parent(self, points):
+        tree = build(points)
+        stats = tree.stats()
+        assert stats["parent_link_count"] == stats["node_count"] - 1
+        assert stats["average_parents"] == pytest.approx(1.0)
+
+    def test_identical_points(self):
+        tree = build([[1.0, 1.0, 1.0]] * 6)
+        assert len(tree) == 6
+        tree.check_invariants()
+
+
+class TestRangeQuery:
+    def test_matches_linear_scan(self, points):
+        tree = build(points)
+        scan = LinearScanIndex(Euclidean())
+        for position, point in enumerate(points):
+            scan.add(point, key=position)
+        for radius in (0.5, 2.0, 6.0, 20.0):
+            query = points[3]
+            expected = sorted(match.key for match in scan.range_query(query, radius))
+            actual = sorted(match.key for match in tree.range_query(query, radius))
+            assert actual == expected
+
+    def test_prunes_relative_to_scan(self, points):
+        tree = build(points)
+        tree.counter.reset()
+        tree.range_query(points[0], 0.5)
+        assert tree.counter.total <= len(points)
+
+    def test_negative_radius_rejected(self, points):
+        tree = build(points[:5])
+        with pytest.raises(IndexError_):
+            tree.range_query(points[0], -2.0)
+
+    def test_empty_tree(self):
+        assert CoverTree(Euclidean()).range_query([0.0], 1.0) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        coords=st.lists(
+            st.tuples(
+                st.floats(min_value=-30, max_value=30, allow_nan=False),
+                st.floats(min_value=-30, max_value=30, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        radius=st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+    )
+    def test_property_equivalence_with_scan(self, coords, radius):
+        tree = CoverTree(Euclidean())
+        scan = LinearScanIndex(Euclidean())
+        for position, point in enumerate(coords):
+            array = np.array(point)
+            tree.add(array, key=position)
+            scan.add(array, key=position)
+        query = np.array(coords[0])
+        expected = sorted(match.key for match in scan.range_query(query, radius))
+        actual = sorted(match.key for match in tree.range_query(query, radius))
+        assert actual == expected
+
+
+class TestDeletion:
+    def test_remove_leaf(self, points):
+        tree = build(points[:30])
+        tree.remove(11)
+        assert 11 not in tree
+        tree.check_invariants()
+
+    def test_remove_root_rebuilds(self, points):
+        tree = build(points[:20])
+        # The first inserted point is the root.
+        tree.remove(0)
+        assert len(tree) == 19
+        tree.check_invariants()
+
+    def test_remove_missing(self, points):
+        tree = build(points[:5])
+        with pytest.raises(IndexError_):
+            tree.remove(123)
+
+    def test_query_correct_after_deletion(self, points):
+        tree = build(points[:40])
+        for key in (5, 17, 23):
+            tree.remove(key)
+        tree.check_invariants()
+        scan = LinearScanIndex(Euclidean())
+        for position, point in enumerate(points[:40]):
+            if position not in (5, 17, 23):
+                scan.add(point, key=position)
+        expected = sorted(match.key for match in scan.range_query(points[1], 4.0))
+        actual = sorted(match.key for match in tree.range_query(points[1], 4.0))
+        assert actual == expected

@@ -1,0 +1,184 @@
+"""Tests for the synthetic dataset generators and loaders."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, DiscreteFrechet, ERP, Levenshtein, SequenceKind
+from repro.datasets import (
+    generate_protein_database,
+    generate_protein_query,
+    generate_song_database,
+    generate_song_query,
+    generate_trajectory_database,
+    generate_trajectory_query,
+    dataset_windows,
+    load_dataset,
+)
+from repro.datasets.loaders import PAPER_PAIRINGS, dataset_distance, paper_configurations
+from repro.datasets.rng import make_rng, smooth
+
+
+class TestRngHelpers:
+    def test_make_rng_accepts_int(self):
+        assert make_rng(3).integers(10) == make_rng(3).integers(10)
+
+    def test_make_rng_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_make_rng_default_is_deterministic(self):
+        assert make_rng().integers(1000) == make_rng().integers(1000)
+
+    def test_smooth_preserves_shape(self):
+        values = np.arange(10.0)
+        assert smooth(values, 3).shape == values.shape
+        matrix = np.arange(20.0).reshape(10, 2)
+        assert smooth(matrix, 3).shape == matrix.shape
+
+    def test_smooth_window_one_is_identity(self):
+        values = np.arange(5.0)
+        assert np.array_equal(smooth(values, 1), values)
+
+
+class TestProteinGenerator:
+    def test_shapes_and_kind(self):
+        db = generate_protein_database(num_sequences=5, sequence_length=100, seed=0)
+        assert db.kind is SequenceKind.STRING
+        assert len(db) == 5
+        assert all(len(sequence) == 100 for sequence in db)
+
+    def test_values_are_valid_codes(self):
+        db = generate_protein_database(num_sequences=3, sequence_length=60, seed=1)
+        for sequence in db:
+            values = np.asarray(sequence.values)
+            assert values.min() >= 0 and values.max() < 20
+
+    def test_deterministic_given_seed(self):
+        first = generate_protein_database(num_sequences=3, sequence_length=60, seed=7)
+        second = generate_protein_database(num_sequences=3, sequence_length=60, seed=7)
+        for a, b in zip(first, second):
+            assert a == b
+
+    def test_domain_structure_creates_close_windows(self):
+        # With shared domains, some window pairs must be much closer than
+        # the random-string expectation (~window length * 0.9).
+        db = generate_protein_database(num_sequences=10, sequence_length=200, seed=2)
+        windows = db.windows(20)
+        distance = Levenshtein()
+        values = [
+            distance(windows[i].sequence, windows[j].sequence)
+            for i in range(0, 40, 2)
+            for j in range(i + 2, 40, 4)
+        ]
+        assert min(values) < 10
+
+    def test_query_comes_from_database(self):
+        db = generate_protein_database(num_sequences=4, sequence_length=80, seed=3)
+        query, source_id, offset = generate_protein_query(db, length=30, seed=4)
+        assert source_id in db.ids()
+        assert 0 <= offset <= 80 - 30
+        assert len(query) == 30
+
+    def test_query_mutation_rate_zero_gives_exact_copy(self):
+        db = generate_protein_database(num_sequences=4, sequence_length=80, seed=3)
+        query, source_id, offset = generate_protein_query(db, length=30, mutation_rate=0.0, seed=5)
+        source = db[source_id]
+        assert np.array_equal(query.values, source.values[offset:offset + 30])
+
+
+class TestSongGenerator:
+    def test_shapes_and_kind(self):
+        db = generate_song_database(num_sequences=5, sequence_length=120, seed=0)
+        assert db.kind is SequenceKind.TIME_SERIES
+        assert all(len(sequence) == 120 for sequence in db)
+
+    def test_pitch_range(self):
+        db = generate_song_database(num_sequences=5, sequence_length=120, seed=1)
+        for sequence in db:
+            values = np.asarray(sequence.values)
+            assert values.min() >= 0 and values.max() <= 11
+
+    def test_deterministic_given_seed(self):
+        first = generate_song_database(num_sequences=3, sequence_length=60, seed=9)
+        second = generate_song_database(num_sequences=3, sequence_length=60, seed=9)
+        for a, b in zip(first, second):
+            assert a == b
+
+    def test_dfd_distribution_is_narrower_than_erp(self):
+        db = generate_song_database(num_sequences=20, sequence_length=200, seed=2)
+        windows = [w.sequence for w in db.windows(20)][:60]
+        dfd, erp = DiscreteFrechet(), ERP()
+        rng = np.random.default_rng(0)
+        pairs = [(rng.integers(60), rng.integers(60)) for _ in range(80)]
+        dfd_values = [dfd(windows[i], windows[j]) for i, j in pairs if i != j]
+        erp_values = [erp(windows[i], windows[j]) for i, j in pairs if i != j]
+        # The paper's observation: DFD is compressed into a few integer
+        # values while ERP spreads widely.
+        assert np.std(dfd_values) < np.std(erp_values)
+
+    def test_query_roundtrip(self):
+        db = generate_song_database(num_sequences=5, sequence_length=120, seed=3)
+        query, source_id, offset = generate_song_query(db, length=40, noise=0.0, seed=6)
+        source = db[source_id]
+        assert np.array_equal(query.values, source.values[offset:offset + 40])
+
+
+class TestTrajectoryGenerator:
+    def test_shapes_and_kind(self):
+        db = generate_trajectory_database(num_sequences=5, sequence_length=80, seed=0)
+        assert db.kind is SequenceKind.TRAJECTORY
+        assert all(sequence.dim == 2 for sequence in db)
+
+    def test_deterministic_given_seed(self):
+        first = generate_trajectory_database(num_sequences=3, sequence_length=50, seed=4)
+        second = generate_trajectory_database(num_sequences=3, sequence_length=50, seed=4)
+        for a, b in zip(first, second):
+            assert a == b
+
+    def test_points_within_scene(self):
+        db = generate_trajectory_database(
+            num_sequences=5, sequence_length=80, scene_size=50.0, jitter=0.5, seed=1
+        )
+        for sequence in db:
+            points = np.asarray(sequence.values)
+            assert points.min() > -10 and points.max() < 60
+
+    def test_query_roundtrip(self):
+        db = generate_trajectory_database(num_sequences=5, sequence_length=80, seed=2)
+        query, source_id, offset = generate_trajectory_query(db, length=30, jitter=0.0, seed=3)
+        source = db[source_id]
+        assert np.allclose(query.values, source.values[offset:offset + 30])
+
+
+class TestLoaders:
+    def test_load_dataset_names(self):
+        for name in ("proteins", "songs", "traj"):
+            db = load_dataset(name, num_windows=50, seed=0)
+            assert db.window_count(20) >= 50
+
+    def test_load_dataset_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("weather", num_windows=10)
+
+    def test_load_dataset_invalid_window_count(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("songs", num_windows=0)
+
+    def test_dataset_windows_exact_count(self):
+        windows = dataset_windows("songs", 37, seed=0)
+        assert len(windows) == 37
+        assert all(window.length == 20 for window in windows)
+
+    def test_dataset_distance_pairings(self):
+        assert isinstance(dataset_distance("proteins", "levenshtein"), Levenshtein)
+        assert isinstance(dataset_distance("songs", "erp"), ERP)
+        assert isinstance(dataset_distance("traj", "frechet"), DiscreteFrechet)
+
+    def test_dataset_distance_rejects_unevaluated_pairs(self):
+        with pytest.raises(ConfigurationError):
+            dataset_distance("proteins", "erp")
+
+    def test_paper_configurations_complete(self):
+        combinations = paper_configurations()
+        assert ("proteins", "levenshtein") in combinations
+        assert len(combinations) == sum(len(v) for v in PAPER_PAIRINGS.values())

@@ -1,0 +1,74 @@
+"""Tests for the extension distances EDR and LCSS."""
+
+import pytest
+
+from repro import EDR, LCSS, DistanceError
+from repro.distances.base import as_array
+
+
+class TestEDR:
+    def test_identical_sequences(self):
+        assert EDR(epsilon=0.5)([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_within_threshold_matches(self):
+        assert EDR(epsilon=0.5)([1.0, 2.0], [1.2, 2.3]) == 0.0
+
+    def test_outside_threshold_costs_one(self):
+        assert EDR(epsilon=0.1)([1.0], [2.0]) == 1.0
+
+    def test_gap_costs_one(self):
+        assert EDR(epsilon=0.1)([1.0, 5.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_value_is_integer_like(self):
+        value = EDR(epsilon=0.5)([0.0, 3.0, 9.0], [0.1, 7.0])
+        assert value == int(value)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(DistanceError):
+            EDR(epsilon=-1.0)
+
+    def test_flags(self):
+        distance = EDR()
+        assert not distance.is_metric
+        assert distance.is_consistent
+
+    def test_repr(self):
+        assert "epsilon" in repr(EDR(epsilon=0.25))
+
+
+class TestLCSS:
+    def test_identical_sequences_distance_zero(self):
+        assert LCSS(epsilon=0.25)([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_completely_different_distance_one(self):
+        assert LCSS(epsilon=0.1)([0.0, 0.0], [10.0, 10.0]) == 1.0
+
+    def test_similarity_length(self):
+        lcss = LCSS(epsilon=0.1)
+        a = as_array([1.0, 2.0, 3.0, 4.0])
+        b = as_array([2.0, 4.0])
+        assert lcss.similarity_length(a, b) == 2
+
+    def test_partial_overlap(self):
+        lcss = LCSS(epsilon=0.1)
+        value = lcss([1.0, 2.0, 9.0, 9.0], [1.0, 2.0])
+        assert value == pytest.approx(0.0)  # both elements of the shorter match
+
+    def test_distance_in_unit_interval(self, rng):
+        lcss = LCSS(epsilon=0.5)
+        for _ in range(20):
+            a = rng.normal(size=rng.integers(2, 8))
+            b = rng.normal(size=rng.integers(2, 8))
+            value = lcss(a, b)
+            assert 0.0 <= value <= 1.0
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(DistanceError):
+            LCSS(epsilon=-0.5)
+
+    def test_flags(self):
+        assert not LCSS().is_metric
+        assert not LCSS().is_consistent
+
+    def test_repr(self):
+        assert "epsilon" in repr(LCSS(epsilon=0.75))

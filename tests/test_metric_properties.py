@@ -1,0 +1,105 @@
+"""Property-based tests: metric axioms for the distances that claim them.
+
+The framework's indexes rely on symmetry and the triangle inequality, so
+these properties are tested with hypothesis-generated sequences rather than
+a handful of fixed examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ERP, DiscreteFrechet, Euclidean, Hamming, Levenshtein
+
+# Short float sequences: lengths 1-8, values in a modest range so that the
+# distances stay numerically tame.
+floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+float_sequences = st.lists(floats, min_size=1, max_size=8)
+equal_length_pairs = st.integers(min_value=1, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.lists(floats, min_size=n, max_size=n), st.lists(floats, min_size=n, max_size=n)
+    )
+)
+symbol_sequences = st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=8)
+
+METRIC_ELASTIC = [ERP(), DiscreteFrechet()]
+
+
+class TestIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(values=float_sequences)
+    def test_elastic_self_distance_zero(self, values):
+        for distance in METRIC_ELASTIC:
+            assert distance(values, values) == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=float_sequences)
+    def test_euclidean_self_distance_zero(self, values):
+        assert Euclidean()(values, values) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=symbol_sequences)
+    def test_levenshtein_self_distance_zero(self, values):
+        assert Levenshtein()(values, values) == 0.0
+
+
+class TestSymmetry:
+    @settings(max_examples=40, deadline=None)
+    @given(first=float_sequences, second=float_sequences)
+    def test_elastic_symmetry(self, first, second):
+        for distance in METRIC_ELASTIC:
+            assert distance(first, second) == pytest.approx(distance(second, first), rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=equal_length_pairs)
+    def test_lockstep_symmetry(self, pair):
+        first, second = pair
+        assert Euclidean()(first, second) == pytest.approx(Euclidean()(second, first))
+        assert Hamming()(first, second) == Hamming()(second, first)
+
+    @settings(max_examples=40, deadline=None)
+    @given(first=symbol_sequences, second=symbol_sequences)
+    def test_levenshtein_symmetry(self, first, second):
+        assert Levenshtein()(first, second) == Levenshtein()(second, first)
+
+
+class TestTriangleInequality:
+    @settings(max_examples=30, deadline=None)
+    @given(first=float_sequences, second=float_sequences, third=float_sequences)
+    def test_elastic_triangle(self, first, second, third):
+        for distance in METRIC_ELASTIC:
+            ac = distance(first, third)
+            ab = distance(first, second)
+            bc = distance(second, third)
+            assert ac <= ab + bc + 1e-7
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    def test_lockstep_triangle(self, n, data):
+        make = lambda: data.draw(st.lists(floats, min_size=n, max_size=n))
+        first, second, third = make(), make(), make()
+        assert Euclidean()(first, third) <= Euclidean()(first, second) + Euclidean()(second, third) + 1e-7
+        assert Hamming()(first, third) <= Hamming()(first, second) + Hamming()(second, third)
+
+    @settings(max_examples=30, deadline=None)
+    @given(first=symbol_sequences, second=symbol_sequences, third=symbol_sequences)
+    def test_levenshtein_triangle(self, first, second, third):
+        lev = Levenshtein()
+        assert lev(first, third) <= lev(first, second) + lev(second, third)
+
+
+class TestNonNegativity:
+    @settings(max_examples=40, deadline=None)
+    @given(first=float_sequences, second=float_sequences)
+    def test_elastic_non_negative(self, first, second):
+        for distance in METRIC_ELASTIC:
+            assert distance(first, second) >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(first=symbol_sequences, second=symbol_sequences)
+    def test_levenshtein_non_negative_and_bounded(self, first, second):
+        value = Levenshtein()(first, second)
+        assert 0 <= value <= max(len(first), len(second))

@@ -1,0 +1,80 @@
+"""Tests for query descriptions, results, and statistics dataclasses."""
+
+import pytest
+
+from repro import (
+    LongestSubsequenceQuery,
+    NearestSubsequenceQuery,
+    QueryError,
+    QueryStats,
+    RangeQuery,
+    SubsequenceMatch,
+)
+
+
+class TestQuerySpecs:
+    def test_range_query_defaults(self):
+        spec = RangeQuery(radius=2.0)
+        assert spec.max_results is None
+        assert not spec.exhaustive
+
+    def test_range_query_validation(self):
+        with pytest.raises(QueryError):
+            RangeQuery(radius=-1.0)
+        with pytest.raises(QueryError):
+            RangeQuery(radius=1.0, max_results=0)
+
+    def test_longest_query_validation(self):
+        assert LongestSubsequenceQuery(radius=0.0).radius == 0.0
+        with pytest.raises(QueryError):
+            LongestSubsequenceQuery(radius=-0.5)
+
+    def test_nearest_query_validation(self):
+        spec = NearestSubsequenceQuery(max_radius=5.0)
+        assert spec.tolerance > 0
+        with pytest.raises(QueryError):
+            NearestSubsequenceQuery(max_radius=0.0)
+        with pytest.raises(QueryError):
+            NearestSubsequenceQuery(max_radius=1.0, tolerance=0.0)
+        with pytest.raises(QueryError):
+            NearestSubsequenceQuery(max_radius=1.0, radius_increment=-0.1)
+
+
+class TestSubsequenceMatch:
+    def test_lengths(self):
+        match = SubsequenceMatch(
+            distance=1.0, source_id="s", query_start=2, query_stop=12, db_start=5, db_stop=16
+        )
+        assert match.query_length == 10
+        assert match.db_length == 11
+        assert match.length == 10
+
+    def test_ordering_by_distance(self):
+        near = SubsequenceMatch(0.5, "s", 0, 10, 0, 10)
+        far = SubsequenceMatch(2.0, "s", 0, 10, 0, 10)
+        assert near < far
+        assert min([far, near]) is near
+
+    def test_repr(self):
+        match = SubsequenceMatch(1.25, "seq-9", 0, 10, 3, 13)
+        text = repr(match)
+        assert "seq-9" in text and "1.25" in text
+
+
+class TestQueryStats:
+    def test_totals(self):
+        stats = QueryStats(
+            index_distance_computations=30, verification_distance_computations=12
+        )
+        assert stats.total_distance_computations == 42
+
+    def test_pruning_ratio(self):
+        stats = QueryStats(index_distance_computations=25, naive_distance_computations=100)
+        assert stats.pruning_ratio == pytest.approx(0.75)
+
+    def test_pruning_ratio_zero_naive(self):
+        assert QueryStats().pruning_ratio == 0.0
+
+    def test_pruning_ratio_never_negative(self):
+        stats = QueryStats(index_distance_computations=150, naive_distance_computations=100)
+        assert stats.pruning_ratio == 0.0

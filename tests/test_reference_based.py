@@ -1,0 +1,159 @@
+"""Tests for reference-based indexing (MV / MP selection)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DTW,
+    DistanceError,
+    Euclidean,
+    IndexError_,
+    LinearScanIndex,
+    ReferenceIndex,
+)
+from repro.indexing.reference_based import select_max_pruning, select_max_variance
+
+
+@pytest.fixture
+def points(rng):
+    return [rng.normal(scale=3.0, size=3) for _ in range(60)]
+
+
+def build(points, **kwargs):
+    index = ReferenceIndex(Euclidean(), **kwargs)
+    for position, point in enumerate(points):
+        index.add(point, key=position)
+    return index
+
+
+class TestSelection:
+    def test_max_variance_returns_requested_count(self, points):
+        chosen = select_max_variance(points, Euclidean(), 5)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+
+    def test_max_variance_caps_at_population(self, points):
+        chosen = select_max_variance(points[:3], Euclidean(), 10)
+        assert len(chosen) == 3
+
+    def test_max_variance_invalid_count(self, points):
+        with pytest.raises(IndexError_):
+            select_max_variance(points, Euclidean(), 0)
+
+    def test_max_variance_empty_items(self):
+        with pytest.raises(IndexError_):
+            select_max_variance([], Euclidean(), 3)
+
+    def test_max_variance_deterministic_with_seed(self, points):
+        first = select_max_variance(points, Euclidean(), 4, rng=np.random.default_rng(1))
+        second = select_max_variance(points, Euclidean(), 4, rng=np.random.default_rng(1))
+        assert first == second
+
+    def test_max_pruning_returns_references(self, points):
+        queries = points[:5]
+        chosen = select_max_pruning(points, Euclidean(), 3, queries, radius=1.0)
+        assert 1 <= len(chosen) <= 3
+
+    def test_max_pruning_requires_queries(self, points):
+        with pytest.raises(IndexError_):
+            select_max_pruning(points, Euclidean(), 3, [], radius=1.0)
+
+    def test_max_pruning_invalid_count(self, points):
+        with pytest.raises(IndexError_):
+            select_max_pruning(points, Euclidean(), 0, points[:2], radius=1.0)
+
+
+class TestReferenceIndex:
+    def test_rejects_non_metric(self):
+        with pytest.raises(DistanceError):
+            ReferenceIndex(DTW())
+
+    def test_rejects_invalid_reference_count(self):
+        with pytest.raises(IndexError_):
+            ReferenceIndex(Euclidean(), num_references=0)
+
+    def test_matches_linear_scan(self, points):
+        index = build(points, num_references=4)
+        scan = LinearScanIndex(Euclidean())
+        for position, point in enumerate(points):
+            scan.add(point, key=position)
+        for radius in (0.5, 2.0, 5.0, 15.0):
+            expected = sorted(match.key for match in scan.range_query(points[7], radius))
+            actual = sorted(match.key for match in index.range_query(points[7], radius))
+            assert actual == expected
+
+    def test_query_cost_at_most_scan_plus_references(self, points):
+        index = build(points, num_references=4)
+        index.build()
+        index.counter.reset()
+        index.range_query(points[0], 1.0)
+        assert index.counter.total <= len(points) + 4
+
+    def test_build_not_charged_to_query_counter(self, points):
+        index = build(points, num_references=4)
+        index.counter.reset()
+        index.build()
+        assert index.counter.total == 0
+
+    def test_remove_reference_triggers_rebuild(self, points):
+        index = build(points, num_references=3)
+        index.build()
+        reference_key = index._reference_keys[0]
+        index.remove(reference_key)
+        scan = LinearScanIndex(Euclidean())
+        for position, point in enumerate(points):
+            if position != reference_key:
+                scan.add(point, key=position)
+        expected = sorted(match.key for match in scan.range_query(points[1], 3.0))
+        actual = sorted(match.key for match in index.range_query(points[1], 3.0))
+        assert actual == expected
+
+    def test_remove_missing(self, points):
+        index = build(points[:5])
+        with pytest.raises(IndexError_):
+            index.remove(77)
+
+    def test_duplicate_key_rejected(self, points):
+        index = build(points[:5])
+        with pytest.raises(IndexError_):
+            index.add(points[0], key=0)
+
+    def test_incremental_add_after_build(self, points):
+        index = build(points[:30], num_references=3)
+        index.build()
+        for position, point in enumerate(points[30:], start=30):
+            index.add(point, key=position)
+        scan = LinearScanIndex(Euclidean())
+        for position, point in enumerate(points):
+            scan.add(point, key=position)
+        expected = sorted(match.key for match in scan.range_query(points[2], 4.0))
+        actual = sorted(match.key for match in index.range_query(points[2], 4.0))
+        assert actual == expected
+
+    def test_empty_index_query(self):
+        index = ReferenceIndex(Euclidean())
+        assert index.range_query([0.0, 0.0, 0.0], 1.0) == []
+
+    def test_stats_reflect_reference_count(self, points):
+        index = build(points, num_references=6)
+        stats = index.stats()
+        assert stats["reference_count"] == 6
+        assert stats["stored_distances"] == 6 * len(points)
+
+    def test_custom_selector_callable(self, points):
+        index = ReferenceIndex(Euclidean(), num_references=2, selector=lambda items, d, k: [0, 1])
+        for position, point in enumerate(points):
+            index.add(point, key=position)
+        index.build()
+        assert index._reference_keys == [0, 1]
+
+    def test_unknown_selector_rejected(self, points):
+        index = ReferenceIndex(Euclidean(), selector="random-walk")
+        index.add(points[0], key=0)
+        with pytest.raises(IndexError_):
+            index.build()
+
+    def test_negative_radius_rejected(self, points):
+        index = build(points[:5])
+        with pytest.raises(IndexError_):
+            index.range_query(points[0], -1.0)

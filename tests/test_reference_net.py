@@ -1,0 +1,256 @@
+"""Tests for the Reference Net index."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DTW,
+    DistanceError,
+    Euclidean,
+    IndexError_,
+    Levenshtein,
+    LinearScanIndex,
+    ReferenceNet,
+)
+
+
+def build(points, **kwargs):
+    net = ReferenceNet(Euclidean(), **kwargs)
+    for position, point in enumerate(points):
+        net.add(point, key=position)
+    return net
+
+
+@pytest.fixture
+def clustered_points(rng):
+    centres = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = []
+    for _ in range(90):
+        centre = centres[rng.integers(3)]
+        points.append(centre + rng.normal(scale=0.5, size=2))
+    return points
+
+
+class TestConstruction:
+    def test_rejects_non_metric_distance(self):
+        with pytest.raises(DistanceError):
+            ReferenceNet(DTW())
+
+    def test_rejects_invalid_eps_prime(self):
+        with pytest.raises(IndexError_):
+            ReferenceNet(Euclidean(), eps_prime=0.0)
+
+    def test_rejects_invalid_nummax(self):
+        with pytest.raises(IndexError_):
+            ReferenceNet(Euclidean(), nummax=0)
+
+    def test_radius_doubles_per_level(self):
+        net = ReferenceNet(Euclidean(), eps_prime=0.5)
+        assert net.radius(0) == 0.5
+        assert net.radius(3) == 4.0
+
+
+class TestInsertion:
+    def test_single_item_is_root(self):
+        net = build([[0.0, 0.0]])
+        assert len(net) == 1
+        assert net.root_key == 0
+
+    def test_duplicate_key_rejected(self):
+        net = build([[0.0, 0.0]])
+        with pytest.raises(IndexError_):
+            net.add([1.0, 1.0], key=0)
+
+    def test_invariants_hold_after_many_insertions(self, clustered_points):
+        net = build(clustered_points)
+        net.check_invariants()
+
+    def test_root_level_rises_for_far_items(self):
+        net = build([[0.0, 0.0], [100.0, 0.0]])
+        assert net.radius(net.max_level) >= 100.0
+        net.check_invariants()
+
+    def test_identical_items_are_all_stored(self):
+        net = build([[1.0, 1.0]] * 5)
+        assert len(net) == 5
+        net.check_invariants()
+
+    def test_every_key_queryable_at_zero_radius(self, clustered_points):
+        net = build(clustered_points[:40])
+        for position, point in enumerate(clustered_points[:40]):
+            keys = {match.key for match in net.range_query(point, 1e-9)}
+            assert position in keys
+
+    def test_level_of(self, clustered_points):
+        net = build(clustered_points[:20])
+        for key in range(20):
+            assert net.level_of(key) >= 0
+        with pytest.raises(IndexError_):
+            net.level_of(999)
+
+    def test_nummax_caps_parent_count(self, clustered_points):
+        net = build(clustered_points, nummax=2)
+        net.check_invariants()
+        stats = net.stats()
+        assert stats.average_parents <= 2.0 + 1e-9
+
+    def test_auto_keys(self):
+        net = ReferenceNet(Euclidean())
+        first = net.add([0.0, 0.0])
+        second = net.add([1.0, 1.0])
+        assert first != second
+
+
+class TestRangeQuery:
+    def test_matches_linear_scan(self, clustered_points):
+        net = build(clustered_points)
+        scan = LinearScanIndex(Euclidean())
+        for position, point in enumerate(clustered_points):
+            scan.add(point, key=position)
+        for radius in (0.1, 0.7, 2.0, 11.0, 50.0):
+            query = clustered_points[5]
+            expected = sorted(match.key for match in scan.range_query(query, radius))
+            actual = sorted(match.key for match in net.range_query(query, radius))
+            assert actual == expected, f"radius={radius}"
+
+    def test_external_query_object(self, clustered_points):
+        net = build(clustered_points)
+        scan = LinearScanIndex(Euclidean())
+        for position, point in enumerate(clustered_points):
+            scan.add(point, key=position)
+        query = np.array([5.0, 5.0])
+        expected = sorted(match.key for match in scan.range_query(query, 8.0))
+        actual = sorted(match.key for match in net.range_query(query, 8.0))
+        assert actual == expected
+
+    def test_reported_distances_are_correct(self, clustered_points):
+        net = build(clustered_points)
+        query = clustered_points[0]
+        distance = Euclidean()
+        for match in net.range_query(query, 3.0):
+            if match.distance is not None:
+                assert match.distance == pytest.approx(distance(query, net.get(match.key)))
+            # Triangle-inequality-only matches must still be within range.
+            assert distance(query, net.get(match.key)) <= 3.0 + 1e-9
+
+    def test_prunes_relative_to_linear_scan(self, clustered_points):
+        net = build(clustered_points)
+        net.counter.reset()
+        net.range_query(clustered_points[0], 1.0)
+        assert net.counter.total < len(clustered_points)
+
+    def test_empty_net(self):
+        net = ReferenceNet(Euclidean())
+        assert net.range_query([0.0, 0.0], 1.0) == []
+
+    def test_negative_radius_rejected(self, clustered_points):
+        net = build(clustered_points[:5])
+        with pytest.raises(IndexError_):
+            net.range_query([0.0, 0.0], -0.1)
+
+    def test_huge_radius_returns_everything(self, clustered_points):
+        net = build(clustered_points)
+        matches = net.range_query([0.0, 0.0], 1e6)
+        assert len(matches) == len(clustered_points)
+
+    def test_works_with_levenshtein(self):
+        from repro import PROTEIN_ALPHABET, Sequence
+
+        words = ["ACDEFGHIKL", "ACDEFGHIKV", "MNPQRSTVWY", "MNPQRSTVWA", "ACDEFGHIKL"]
+        net = ReferenceNet(Levenshtein())
+        scan = LinearScanIndex(Levenshtein())
+        for position, word in enumerate(words):
+            item = Sequence.from_string(word, PROTEIN_ALPHABET)
+            net.add(item, key=position)
+            scan.add(item, key=position)
+        query = Sequence.from_string("ACDEFGHIKL", PROTEIN_ALPHABET)
+        expected = sorted(match.key for match in scan.range_query(query, 1.0))
+        actual = sorted(match.key for match in net.range_query(query, 1.0))
+        assert actual == expected
+
+
+class TestDeletion:
+    def test_remove_leaf(self, clustered_points):
+        net = build(clustered_points[:30])
+        net.remove(7)
+        assert 7 not in net
+        assert len(net) == 29
+        net.check_invariants()
+
+    def test_remove_missing_raises(self, clustered_points):
+        net = build(clustered_points[:5])
+        with pytest.raises(IndexError_):
+            net.remove(999)
+
+    def test_remove_root_rebuilds(self, clustered_points):
+        net = build(clustered_points[:30])
+        root = net.root_key
+        net.remove(root)
+        assert root not in net
+        assert len(net) == 29
+        net.check_invariants()
+
+    def test_remove_all(self, clustered_points):
+        net = build(clustered_points[:15])
+        for key in range(15):
+            net.remove(key)
+        assert len(net) == 0
+
+    def test_query_correct_after_deletions(self, clustered_points, rng):
+        points = clustered_points[:40]
+        net = build(points)
+        removed = {3, 11, 19, 25}
+        for key in removed:
+            net.remove(key)
+        net.check_invariants()
+        scan = LinearScanIndex(Euclidean())
+        for position, point in enumerate(points):
+            if position not in removed:
+                scan.add(point, key=position)
+        query = points[0]
+        expected = sorted(match.key for match in scan.range_query(query, 2.0))
+        actual = sorted(match.key for match in net.range_query(query, 2.0))
+        assert actual == expected
+
+    def test_reinsert_after_remove(self, clustered_points):
+        net = build(clustered_points[:10])
+        item = net.remove(4)
+        net.add(item, key=4)
+        assert 4 in net
+        net.check_invariants()
+
+
+class TestStats:
+    def test_node_count_matches_size(self, clustered_points):
+        net = build(clustered_points)
+        assert net.stats().node_count == len(clustered_points)
+
+    def test_space_grows_linearly(self, clustered_points):
+        net = ReferenceNet(Euclidean())
+        sizes = []
+        for position, point in enumerate(clustered_points):
+            net.add(point, key=position)
+            if position + 1 in (30, 60, 90):
+                sizes.append(net.stats().parent_link_count)
+        assert sizes[0] < sizes[1] < sizes[2]
+        # Roughly linear: the last third should not explode quadratically.
+        assert sizes[2] <= 4 * sizes[0] + 10
+
+    def test_level_histogram_sums_to_nodes(self, clustered_points):
+        net = build(clustered_points)
+        stats = net.stats()
+        assert sum(stats.level_histogram.values()) == stats.node_count
+
+    def test_estimated_size_positive(self, clustered_points):
+        stats = build(clustered_points[:10]).stats()
+        assert stats.estimated_size_bytes > 0
+        assert stats.estimated_size_mb > 0
+
+    def test_exclusivity_violation_count_is_finite(self, clustered_points):
+        net = build(clustered_points[:30])
+        assert net.exclusivity_violations() >= 0
+
+    def test_repr(self, clustered_points):
+        net = build(clustered_points[:5], nummax=3)
+        text = repr(net)
+        assert "nummax=3" in text and "euclidean" in text

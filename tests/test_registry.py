@@ -1,0 +1,66 @@
+"""Tests for the distance registry."""
+
+import pytest
+
+from repro import (
+    DTW,
+    DiscreteFrechet,
+    Distance,
+    DistanceError,
+    Euclidean,
+    available_distances,
+    get_distance,
+    register_distance,
+)
+
+
+class TestLookup:
+    def test_all_builtin_names_available(self):
+        names = available_distances()
+        for expected in ("euclidean", "hamming", "levenshtein", "dtw", "erp", "frechet", "edr", "lcss"):
+            assert expected in names
+
+    def test_get_returns_correct_type(self):
+        assert isinstance(get_distance("euclidean"), Euclidean)
+        assert isinstance(get_distance("dtw"), DTW)
+        assert isinstance(get_distance("frechet"), DiscreteFrechet)
+
+    def test_dfd_alias(self):
+        assert isinstance(get_distance("dfd"), DiscreteFrechet)
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(get_distance("ERP"), Distance)
+
+    def test_kwargs_forwarded(self):
+        dtw = get_distance("dtw", band=3)
+        assert dtw.band == 3
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(DistanceError) as excinfo:
+            get_distance("manhattan-warp")
+        assert "available" in str(excinfo.value)
+
+
+class TestRegistration:
+    def test_register_and_get_custom_distance(self):
+        class Constant(Distance):
+            name = "constant"
+
+            def compute(self, first, second):
+                return 42.0
+
+        register_distance("constant-test", Constant)
+        try:
+            assert get_distance("constant-test")([1.0], [2.0]) == 42.0
+        finally:
+            # Re-registering with overwrite keeps the registry reusable for
+            # other tests that may want the same temporary name.
+            register_distance("constant-test", Constant, overwrite=True)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DistanceError):
+            register_distance("euclidean", Euclidean)
+
+    def test_duplicate_registration_with_overwrite(self):
+        register_distance("euclidean", Euclidean, overwrite=True)
+        assert isinstance(get_distance("euclidean"), Euclidean)

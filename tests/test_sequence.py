@@ -1,0 +1,146 @@
+"""Tests for repro.sequences.sequence."""
+
+import numpy as np
+import pytest
+
+from repro import DNA_ALPHABET, Sequence, SequenceError, SequenceKind
+
+
+class TestConstruction:
+    def test_from_string(self):
+        sequence = Sequence.from_string("ACGT", DNA_ALPHABET, seq_id="s")
+        assert sequence.kind is SequenceKind.STRING
+        assert len(sequence) == 4
+        assert sequence.seq_id == "s"
+        assert sequence.alphabet == DNA_ALPHABET
+
+    def test_from_values(self):
+        sequence = Sequence.from_values([1.0, 2.0, 3.0])
+        assert sequence.kind is SequenceKind.TIME_SERIES
+        assert sequence.dim == 1
+        assert len(sequence) == 3
+
+    def test_from_points(self):
+        sequence = Sequence.from_points([[0.0, 0.0], [1.0, 1.0]])
+        assert sequence.kind is SequenceKind.TRAJECTORY
+        assert sequence.dim == 2
+        assert len(sequence) == 2
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence.from_string("", DNA_ALPHABET)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence.from_values([])
+
+    def test_string_must_be_one_dimensional(self):
+        with pytest.raises(SequenceError):
+            Sequence(np.zeros((3, 2)), SequenceKind.STRING)
+
+    def test_time_series_must_be_one_dimensional(self):
+        with pytest.raises(SequenceError):
+            Sequence(np.zeros((3, 2)), SequenceKind.TIME_SERIES)
+
+    def test_trajectory_must_be_two_dimensional(self):
+        with pytest.raises(SequenceError):
+            Sequence(np.zeros(3), SequenceKind.TRAJECTORY)
+
+    def test_values_are_read_only(self):
+        sequence = Sequence.from_values([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            sequence.values[0] = 5.0
+
+    def test_repr_contains_kind_and_length(self):
+        sequence = Sequence.from_values([1.0, 2.0])
+        assert "time_series" in repr(sequence)
+        assert "2" in repr(sequence)
+
+
+class TestEqualityAndHashing:
+    def test_equal_sequences(self):
+        a = Sequence.from_values([1.0, 2.0, 3.0])
+        b = Sequence.from_values([1.0, 2.0, 3.0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_values_not_equal(self):
+        assert Sequence.from_values([1.0]) != Sequence.from_values([2.0])
+
+    def test_different_kinds_not_equal(self):
+        string = Sequence.from_string("AC", DNA_ALPHABET)
+        series = Sequence.from_values([0.0, 1.0])
+        assert string != series
+
+    def test_comparison_with_other_types(self):
+        assert Sequence.from_values([1.0]) != [1.0]
+
+
+class TestSubsequences:
+    def test_subsequence_values(self):
+        sequence = Sequence.from_values([0.0, 1.0, 2.0, 3.0, 4.0])
+        sub = sequence.subsequence(1, 4)
+        assert sub.to_list() == [1.0, 2.0, 3.0]
+        assert sub.seq_id == sequence.seq_id
+
+    def test_subsequence_bounds_checked(self):
+        sequence = Sequence.from_values([0.0, 1.0, 2.0])
+        with pytest.raises(SequenceError):
+            sequence.subsequence(2, 2)
+        with pytest.raises(SequenceError):
+            sequence.subsequence(-1, 2)
+        with pytest.raises(SequenceError):
+            sequence.subsequence(0, 4)
+
+    def test_prefix_and_suffix(self):
+        sequence = Sequence.from_values([0.0, 1.0, 2.0, 3.0])
+        assert sequence.prefix(2).to_list() == [0.0, 1.0]
+        assert sequence.suffix(2).to_list() == [2.0, 3.0]
+
+    def test_slicing_returns_sequence(self):
+        sequence = Sequence.from_values([0.0, 1.0, 2.0, 3.0])
+        sub = sequence[1:3]
+        assert isinstance(sub, Sequence)
+        assert sub.to_list() == [1.0, 2.0]
+
+    def test_indexing_returns_element(self):
+        sequence = Sequence.from_values([0.0, 1.0, 2.0])
+        assert sequence[1] == 1.0
+
+    def test_trajectory_subsequence_keeps_dim(self):
+        sequence = Sequence.from_points([[0, 0], [1, 1], [2, 2], [3, 3]])
+        sub = sequence.subsequence(1, 3)
+        assert sub.dim == 2
+        assert len(sub) == 2
+
+    def test_iteration(self):
+        sequence = Sequence.from_values([5.0, 6.0])
+        assert [float(value) for value in sequence] == [5.0, 6.0]
+
+
+class TestConcatAndConversion:
+    def test_concat(self):
+        a = Sequence.from_values([1.0, 2.0])
+        b = Sequence.from_values([3.0])
+        combined = a.concat(b)
+        assert combined.to_list() == [1.0, 2.0, 3.0]
+
+    def test_concat_kind_mismatch(self):
+        a = Sequence.from_values([1.0])
+        b = Sequence.from_string("A", DNA_ALPHABET)
+        with pytest.raises(SequenceError):
+            a.concat(b)
+
+    def test_to_string_roundtrip(self):
+        text = "ACGTTGCA"
+        sequence = Sequence.from_string(text, DNA_ALPHABET)
+        assert sequence.to_string() == text
+
+    def test_to_string_requires_string_kind(self):
+        with pytest.raises(SequenceError):
+            Sequence.from_values([1.0, 2.0]).to_string()
+
+    def test_to_string_requires_alphabet(self):
+        sequence = Sequence(np.array([0, 1]), SequenceKind.STRING)
+        with pytest.raises(SequenceError):
+            sequence.to_string()

@@ -1,0 +1,99 @@
+"""Tests for persistence of databases and windows."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DNA_ALPHABET,
+    Sequence,
+    SequenceDatabase,
+    SequenceKind,
+    StorageError,
+)
+from repro.storage import load_database, load_windows, save_database, save_windows
+
+
+@pytest.fixture
+def string_db():
+    db = SequenceDatabase(SequenceKind.STRING, name="strings")
+    db.add(Sequence.from_string("ACGTACGT", DNA_ALPHABET, seq_id="a"))
+    db.add(Sequence.from_string("TTTTCCCC", DNA_ALPHABET, seq_id="b"))
+    return db
+
+
+@pytest.fixture
+def trajectory_db(rng):
+    db = SequenceDatabase(SequenceKind.TRAJECTORY, name="trajs")
+    for index in range(3):
+        db.add(Sequence.from_points(rng.normal(size=(15, 2)), seq_id=f"t{index}"))
+    return db
+
+
+class TestDatabaseRoundtrip:
+    def test_string_database(self, string_db, tmp_path):
+        path = tmp_path / "strings.npz"
+        save_database(string_db, path)
+        loaded = load_database(path)
+        assert loaded.name == "strings"
+        assert loaded.kind is SequenceKind.STRING
+        assert loaded.ids() == ["a", "b"]
+        assert loaded["a"].to_string() == "ACGTACGT"
+        assert loaded["a"].alphabet == DNA_ALPHABET
+
+    def test_trajectory_database(self, trajectory_db, tmp_path):
+        path = tmp_path / "trajs.npz"
+        save_database(trajectory_db, path)
+        loaded = load_database(path)
+        assert loaded.kind is SequenceKind.TRAJECTORY
+        for seq_id in trajectory_db.ids():
+            assert np.allclose(loaded[seq_id].values, trajectory_db[seq_id].values)
+
+    def test_time_series_database(self, tmp_path):
+        db = SequenceDatabase(SequenceKind.TIME_SERIES, name="series")
+        db.add(Sequence.from_values([1.5, 2.5, 3.5], seq_id="x"))
+        path = tmp_path / "series.npz"
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded["x"].to_list() == [1.5, 2.5, 3.5]
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_database(tmp_path / "absent.npz")
+
+    def test_save_path_without_suffix(self, string_db, tmp_path):
+        path = tmp_path / "noext"
+        save_database(string_db, path)
+        loaded = load_database(path)
+        assert len(loaded) == 2
+
+
+class TestWindowRoundtrip:
+    def test_roundtrip_preserves_provenance(self, string_db, tmp_path):
+        windows = string_db.windows(4)
+        path = tmp_path / "windows.npz"
+        save_windows(windows, path)
+        loaded = load_windows(path)
+        assert len(loaded) == len(windows)
+        for original, restored in zip(windows, loaded):
+            assert restored.source_id == original.source_id
+            assert restored.start == original.start
+            assert restored.ordinal == original.ordinal
+            assert np.array_equal(restored.sequence.values, original.sequence.values)
+
+    def test_roundtrip_time_series_windows(self, tmp_path):
+        db = SequenceDatabase(SequenceKind.TIME_SERIES)
+        db.add(Sequence.from_values(np.arange(20.0), seq_id="x"))
+        windows = db.windows(5)
+        path = tmp_path / "tswin.npz"
+        save_windows(windows, path)
+        loaded = load_windows(path)
+        assert [window.key for window in loaded] == [window.key for window in windows]
+
+    def test_load_missing_windows(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_windows(tmp_path / "absent.npz")
+
+    def test_empty_window_list(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_windows([], path)
+        assert load_windows(path) == []

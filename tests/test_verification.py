@@ -1,0 +1,158 @@
+"""Tests for candidate verification (step 5b)."""
+
+import numpy as np
+import pytest
+
+from repro import DiscreteFrechet, Euclidean, MatcherConfig, SegmentMatch, Sequence, Window
+from repro.core.candidates import CandidateChain
+from repro.core.verification import (
+    _VerificationCounter,
+    chain_bounds,
+    enumerate_matches,
+    verify_chain,
+)
+
+
+@pytest.fixture
+def config():
+    return MatcherConfig(min_length=10, max_shift=1)
+
+
+def make_chain(db_sequence, query_start, db_start, length, query_length=None):
+    """A single-window chain anchored at the given offsets."""
+    window = Window(
+        sequence=db_sequence.subsequence(db_start, db_start + length),
+        source_id=db_sequence.seq_id,
+        start=db_start,
+        ordinal=db_start // length,
+    )
+    match = SegmentMatch(
+        query_start=query_start,
+        query_length=query_length or length,
+        window=window,
+        distance=None,
+    )
+    return CandidateChain(db_sequence.seq_id or "seq", (match,))
+
+
+@pytest.fixture
+def aligned_pair():
+    """A query and a database sequence sharing an identical middle section."""
+    shared = np.sin(np.linspace(0, 3, 30))
+    query = Sequence.from_values(np.concatenate([np.full(5, 8.0), shared, np.full(5, 8.0)]), seq_id="q")
+    target = Sequence.from_values(
+        np.concatenate([np.full(10, -8.0), shared, np.full(10, -8.0)]), seq_id="db"
+    )
+    return query, target
+
+
+class TestChainBounds:
+    def test_bounds_are_clipped_to_sequences(self, aligned_pair, config):
+        query, target = aligned_pair
+        chain = make_chain(target, query_start=5, db_start=10, length=5)
+        q_starts, q_stops, x_starts, x_stops = chain_bounds(chain, len(query), len(target), config)
+        assert q_starts.start >= 0 and x_starts.start >= 0
+        assert q_stops.stop <= len(query) + 1 and x_stops.stop <= len(target) + 1
+
+    def test_bounds_contain_the_anchor(self, aligned_pair, config):
+        query, target = aligned_pair
+        chain = make_chain(target, query_start=5, db_start=10, length=5)
+        q_starts, q_stops, x_starts, x_stops = chain_bounds(chain, len(query), len(target), config)
+        assert 5 in q_starts and 10 in q_stops
+        assert 10 in x_starts and 15 in x_stops
+
+
+class TestVerifyChain:
+    def test_finds_planted_match(self, aligned_pair, config):
+        query, target = aligned_pair
+        chain = make_chain(target, query_start=5, db_start=10, length=5)
+        result = verify_chain(chain, query, target, Euclidean(), 0.5, config)
+        assert result is not None
+        assert result.distance <= 0.5
+        assert result.query_length >= config.min_length
+        assert result.db_length >= config.min_length
+        assert abs(result.query_length - result.db_length) <= config.max_shift
+
+    def test_anchored_growth_avoids_noise(self, aligned_pair, config):
+        query, target = aligned_pair
+        chain = make_chain(target, query_start=5, db_start=10, length=5)
+        result = verify_chain(chain, query, target, DiscreteFrechet(), 0.05, config)
+        assert result is not None
+        # Growing symmetrically would pull in the noise filler on both sides;
+        # the anchored growth keeps the match inside the shared section.
+        assert result.distance <= 0.05
+        assert result.length >= config.min_length
+        assert result.query_start >= 5 and result.db_start >= 10
+
+    def test_two_window_chain_verifies_longer_match(self, aligned_pair, config):
+        query, target = aligned_pair
+        first = make_chain(target, query_start=5, db_start=10, length=5).matches[0]
+        second = make_chain(target, query_start=10, db_start=15, length=5).matches[0]
+        chain = CandidateChain(target.seq_id, (first, second))
+        result = verify_chain(chain, query, target, DiscreteFrechet(), 0.05, config)
+        assert result is not None
+        assert result.length > config.min_length
+
+    def test_returns_none_when_no_match_possible(self, config):
+        query = Sequence.from_values(np.zeros(20), seq_id="q")
+        target = Sequence.from_values(np.full(30, 50.0), seq_id="db")
+        chain = make_chain(target, query_start=0, db_start=5, length=5)
+        assert verify_chain(chain, query, target, Euclidean(), 1.0, config) is None
+
+    def test_counts_verification_distances(self, aligned_pair, config):
+        query, target = aligned_pair
+        chain = make_chain(target, query_start=5, db_start=10, length=5)
+        counter = _VerificationCounter()
+        verify_chain(chain, query, target, Euclidean(), 0.5, config, counter)
+        assert counter.count >= 1
+
+    def test_respects_radius(self, aligned_pair, config):
+        query, target = aligned_pair
+        chain = make_chain(target, query_start=5, db_start=10, length=5)
+        result = verify_chain(chain, query, target, Euclidean(), 1e-9, config)
+        if result is not None:
+            assert result.distance <= 1e-9
+
+    def test_sequences_shorter_than_lambda_yield_none(self, config):
+        query = Sequence.from_values(np.zeros(6), seq_id="q")
+        target = Sequence.from_values(np.zeros(6), seq_id="db")
+        chain = make_chain(target, query_start=0, db_start=0, length=5)
+        assert verify_chain(chain, query, target, Euclidean(), 10.0, config) is None
+
+
+class TestEnumerateMatches:
+    def test_all_results_are_admissible(self, aligned_pair, config):
+        query, target = aligned_pair
+        chain = make_chain(target, query_start=5, db_start=10, length=5)
+        results = enumerate_matches(chain, query, target, DiscreteFrechet(), 0.2, config)
+        assert results
+        for match in results:
+            assert match.distance <= 0.2
+            assert match.query_length >= config.min_length
+            assert match.db_length >= config.min_length
+            assert abs(match.query_length - match.db_length) <= config.max_shift
+
+    def test_exhaustive_contains_greedy_result_region(self, aligned_pair, config):
+        query, target = aligned_pair
+        chain = make_chain(target, query_start=5, db_start=10, length=5)
+        greedy = verify_chain(chain, query, target, Euclidean(), 0.5, config)
+        exhaustive = enumerate_matches(chain, query, target, Euclidean(), 0.5, config)
+        assert greedy is not None
+        keys = {(m.query_start, m.query_stop, m.db_start, m.db_stop) for m in exhaustive}
+        assert (greedy.query_start, greedy.query_stop, greedy.db_start, greedy.db_stop) in keys
+
+    def test_max_results_cap(self, aligned_pair, config):
+        query, target = aligned_pair
+        chain = make_chain(target, query_start=5, db_start=10, length=5)
+        uncapped = enumerate_matches(chain, query, target, DiscreteFrechet(), 0.5, config)
+        assert len(uncapped) >= 2
+        capped = enumerate_matches(
+            chain, query, target, DiscreteFrechet(), 0.5, config, max_results=1
+        )
+        assert len(capped) == 1
+
+    def test_empty_when_radius_too_small(self, config):
+        query = Sequence.from_values(np.zeros(20), seq_id="q")
+        target = Sequence.from_values(np.full(30, 50.0), seq_id="db")
+        chain = make_chain(target, query_start=0, db_start=5, length=5)
+        assert enumerate_matches(chain, query, target, Euclidean(), 1.0, config) == []

@@ -1,0 +1,92 @@
+"""Tests for the vantage-point tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro import DTW, DistanceError, Euclidean, IndexError_, LinearScanIndex, VPTree
+
+
+@pytest.fixture
+def points(rng):
+    return [rng.normal(scale=4.0, size=2) for _ in range(70)]
+
+
+def build(points):
+    tree = VPTree(Euclidean())
+    for position, point in enumerate(points):
+        tree.add(point, key=position)
+    return tree
+
+
+class TestVPTree:
+    def test_rejects_non_metric(self):
+        with pytest.raises(DistanceError):
+            VPTree(DTW())
+
+    def test_matches_linear_scan(self, points):
+        tree = build(points)
+        scan = LinearScanIndex(Euclidean())
+        for position, point in enumerate(points):
+            scan.add(point, key=position)
+        for radius in (0.5, 2.0, 6.0, 30.0):
+            expected = sorted(match.key for match in scan.range_query(points[9], radius))
+            actual = sorted(match.key for match in tree.range_query(points[9], radius))
+            assert actual == expected
+
+    def test_build_is_lazy_and_idempotent(self, points):
+        tree = build(points)
+        tree.range_query(points[0], 1.0)
+        tree.build()
+        tree.range_query(points[0], 1.0)
+        assert len(tree) == len(points)
+
+    def test_construction_not_charged_to_query_counter(self, points):
+        tree = build(points)
+        tree.build()
+        tree.counter.reset()
+        tree.range_query(points[0], 0.5)
+        assert tree.counter.total <= len(points)
+
+    def test_add_after_build_rebuilds(self, points):
+        tree = build(points[:40])
+        tree.build()
+        for position, point in enumerate(points[40:], start=40):
+            tree.add(point, key=position)
+        matches = tree.range_query(points[45], 1e-9)
+        assert 45 in {match.key for match in matches}
+
+    def test_remove(self, points):
+        tree = build(points[:20])
+        tree.remove(3)
+        assert 3 not in tree
+        matches = tree.range_query(points[3], 1e-9)
+        assert 3 not in {match.key for match in matches}
+
+    def test_remove_missing(self, points):
+        tree = build(points[:5])
+        with pytest.raises(IndexError_):
+            tree.remove(99)
+
+    def test_duplicate_key_rejected(self, points):
+        tree = build(points[:5])
+        with pytest.raises(IndexError_):
+            tree.add(points[0], key=0)
+
+    def test_empty_tree_query(self):
+        assert VPTree(Euclidean()).range_query([0.0, 0.0], 1.0) == []
+
+    def test_negative_radius_rejected(self, points):
+        tree = build(points[:5])
+        with pytest.raises(IndexError_):
+            tree.range_query(points[0], -0.5)
+
+    def test_identical_points(self):
+        tree = VPTree(Euclidean())
+        for position in range(8):
+            tree.add(np.array([1.0, 1.0]), key=position)
+        matches = tree.range_query(np.array([1.0, 1.0]), 0.0)
+        assert len(matches) == 8
+
+    def test_stats(self, points):
+        tree = build(points[:10])
+        assert tree.stats()["node_count"] == 10

@@ -1,0 +1,94 @@
+"""Tests for repro.sequences.windows."""
+
+import pytest
+
+from repro import Sequence, SequenceError, Window, sliding_windows, tumbling_windows
+
+
+@pytest.fixture
+def series():
+    return Sequence.from_values(list(range(23)), seq_id="series")
+
+
+class TestTumblingWindows:
+    def test_count_and_positions(self, series):
+        windows = list(tumbling_windows(series, 5))
+        assert len(windows) == 4  # 23 // 5
+        assert [window.start for window in windows] == [0, 5, 10, 15]
+        assert all(window.length == 5 for window in windows)
+
+    def test_ordinals_are_consecutive(self, series):
+        windows = list(tumbling_windows(series, 5))
+        assert [window.ordinal for window in windows] == [0, 1, 2, 3]
+
+    def test_tail_excluded_by_default(self, series):
+        windows = list(tumbling_windows(series, 5))
+        assert windows[-1].stop == 20
+
+    def test_tail_included_when_requested(self, series):
+        windows = list(tumbling_windows(series, 5, include_tail=True))
+        assert windows[-1].length == 3
+        assert windows[-1].stop == 23
+
+    def test_window_content_matches_source(self, series):
+        windows = list(tumbling_windows(series, 5))
+        assert windows[2].sequence.to_list() == [10.0, 11.0, 12.0, 13.0, 14.0]
+
+    def test_source_id_defaults_to_seq_id(self, series):
+        windows = list(tumbling_windows(series, 5))
+        assert all(window.source_id == "series" for window in windows)
+
+    def test_source_id_override(self, series):
+        windows = list(tumbling_windows(series, 5, source_id="custom"))
+        assert all(window.source_id == "custom" for window in windows)
+
+    def test_invalid_window_length(self, series):
+        with pytest.raises(SequenceError):
+            list(tumbling_windows(series, 0))
+
+    def test_window_longer_than_sequence_yields_nothing(self):
+        short = Sequence.from_values([1.0, 2.0])
+        assert list(tumbling_windows(short, 5)) == []
+
+
+class TestSlidingWindows:
+    def test_every_position(self, series):
+        windows = list(sliding_windows(series, 5))
+        assert len(windows) == 19
+        assert [window.start for window in windows][:3] == [0, 1, 2]
+
+    def test_step(self, series):
+        windows = list(sliding_windows(series, 5, step=4))
+        assert [window.start for window in windows] == [0, 4, 8, 12, 16]
+
+    def test_window_longer_than_sequence(self):
+        short = Sequence.from_values([1.0, 2.0])
+        assert list(sliding_windows(short, 3)) == []
+
+    def test_invalid_parameters(self, series):
+        with pytest.raises(SequenceError):
+            list(sliding_windows(series, 0))
+        with pytest.raises(SequenceError):
+            list(sliding_windows(series, 3, step=0))
+
+
+class TestWindowDataclass:
+    def test_key_and_stop(self, series):
+        window = next(iter(tumbling_windows(series, 5)))
+        assert window.key == ("series", 0, 5)
+        assert window.stop == 5
+
+    def test_adjacency(self, series):
+        first, second, *_ = list(tumbling_windows(series, 5))
+        assert first.is_adjacent_to(second)
+        assert not second.is_adjacent_to(first)
+
+    def test_adjacency_requires_same_source(self, series):
+        other = Sequence.from_values(list(range(10)), seq_id="other")
+        w1 = next(iter(tumbling_windows(series, 5)))
+        w2 = Window(other.subsequence(5, 10), source_id="other", start=5, ordinal=1)
+        assert not w1.is_adjacent_to(w2)
+
+    def test_repr(self, series):
+        window = next(iter(tumbling_windows(series, 5)))
+        assert "series" in repr(window)
