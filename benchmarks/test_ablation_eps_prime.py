@@ -7,10 +7,14 @@ and the query cost, verifying that (a) correctness never depends on eps'
 of the best setting for the TRAJ workload.
 """
 
-from _harness import load_windows, paper_distance, scaled
+from _harness import load_windows, paper_distance
 from repro.analysis.pruning import measure_pruning
 from repro.analysis.reporting import format_table
 from repro.indexing.reference_net import ReferenceNet
+
+import pytest
+
+pytestmark = pytest.mark.benchmark
 
 # Values are deliberately not all powers of two of each other: scaling eps'
 # by a power of two produces the identical ladder of level radii (just

@@ -16,6 +16,10 @@ from repro.datasets.loaders import load_dataset
 from repro.datasets.trajectories import generate_trajectory_query
 from repro.distances.erp import ERP
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 SHIFTS = [0, 1, 2, 4]
 
 

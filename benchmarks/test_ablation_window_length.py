@@ -15,6 +15,10 @@ from repro.datasets.loaders import load_dataset
 from repro.datasets.songs import generate_song_query
 from repro.distances.frechet import DiscreteFrechet
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 
 def test_ablation_window_length(benchmark):
     database = load_dataset("songs", num_windows=scaled(200), seed=0)

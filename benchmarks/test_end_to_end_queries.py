@@ -19,6 +19,8 @@ from repro.datasets.proteins import generate_protein_query
 from repro.datasets.songs import generate_song_query
 from repro.datasets.trajectories import generate_trajectory_query
 
+pytestmark = pytest.mark.benchmark
+
 CASES = [
     ("proteins", "levenshtein", 8.0, 25.0),
     ("songs", "frechet", 2.0, 8.0),
@@ -61,6 +63,7 @@ def test_end_to_end_query_types(benchmark, dataset, distance_name, radius, max_r
                 label,
                 stats.index_distance_computations,
                 stats.verification_distance_computations,
+                stats.total_cache_hits,
                 stats.naive_distance_computations,
                 repr(outcome) if not isinstance(outcome, list) else f"{outcome} matches",
             ]
@@ -68,7 +71,14 @@ def test_end_to_end_query_types(benchmark, dataset, distance_name, radius, max_r
     print()
     print(
         format_table(
-            ["query type", "index computations", "verification computations", "naive step-4 cost", "outcome"],
+            [
+                "query type",
+                "index computations",
+                "verification computations",
+                "cache hits",
+                "naive step-4 cost",
+                "outcome",
+            ],
             rows,
             title=f"End-to-end -- {dataset} / {distance_name} (lambda=40, lambda0=1)",
         )

@@ -13,6 +13,10 @@ from repro.indexing.cover_tree import CoverTree
 from repro.indexing.reference_based import ReferenceIndex
 from repro.indexing.reference_net import ReferenceNet
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 
 def test_fig10_query_cost_traj_erp(benchmark):
     windows = load_windows("traj", 400, seed=0)

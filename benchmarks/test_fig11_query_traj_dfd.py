@@ -11,6 +11,10 @@ from repro.indexing.cover_tree import CoverTree
 from repro.indexing.reference_based import ReferenceIndex
 from repro.indexing.reference_net import ReferenceNet
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 
 def test_fig11_query_cost_traj_dfd(benchmark):
     windows = load_windows("traj", 400, seed=0)

@@ -8,12 +8,16 @@ candidates Type II verification starts from.  At epsilon equal to the
 maximum Levenshtein distance (the window length) the whole database matches.
 """
 
-from _harness import load_windows, paper_distance, scaled
+from _harness import paper_distance, scaled
 from repro.analysis.reporting import format_table
 from repro.core.config import MatcherConfig
 from repro.core.matcher import SubsequenceMatcher
 from repro.datasets.loaders import load_dataset
 from repro.datasets.proteins import generate_protein_query
+
+import pytest
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_fig12_matching_windows_proteins(benchmark):

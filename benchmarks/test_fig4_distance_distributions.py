@@ -15,6 +15,8 @@ from _harness import load_windows, paper_distance, scaled
 from repro.analysis.distributions import distance_distribution
 from repro.analysis.reporting import format_histogram, format_table
 
+pytestmark = pytest.mark.benchmark
+
 CASES = [
     ("proteins", "levenshtein"),
     ("songs", "frechet"),

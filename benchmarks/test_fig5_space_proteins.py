@@ -12,6 +12,10 @@ from repro.analysis.reporting import format_table
 from repro.analysis.space import space_overhead_curve
 from repro.indexing.reference_net import ReferenceNet
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 
 def test_fig5_space_overhead_proteins(benchmark):
     total = scaled(1000)

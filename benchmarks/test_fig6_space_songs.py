@@ -12,6 +12,10 @@ from repro.analysis.reporting import format_table
 from repro.analysis.space import space_overhead_curve
 from repro.indexing.reference_net import ReferenceNet
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 
 def _curve(distance, windows, checkpoints, nummax=None):
     return space_overhead_curve(

@@ -12,6 +12,10 @@ from repro.analysis.space import space_overhead_curve
 from repro.indexing.cover_tree import CoverTree
 from repro.indexing.reference_net import ReferenceNet
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 
 def test_fig7_space_overhead_traj(benchmark):
     total = scaled(600)

@@ -11,7 +11,11 @@ windows.  The claims this benchmark checks:
   advantage as the range grows towards ~10% of the maximum distance.
 """
 
-from _harness import average_fraction, build_index_suite, load_windows, paper_distance, run_query_figure, scaled
+from _harness import average_fraction, build_index_suite, load_windows, paper_distance, run_query_figure
+
+import pytest
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_fig8_query_cost_proteins(benchmark):

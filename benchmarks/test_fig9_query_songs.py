@@ -6,10 +6,14 @@ The paper's claims checked here: RN-5 performs about as well as the
 unconstrained RN, and both beat the cover tree.
 """
 
-from _harness import average_fraction, load_windows, paper_distance, run_query_figure, scaled
+from _harness import average_fraction, load_windows, paper_distance, run_query_figure
 from repro.indexing.cover_tree import CoverTree
 from repro.indexing.reference_based import ReferenceIndex
 from repro.indexing.reference_net import ReferenceNet
+
+import pytest
+
+pytestmark = pytest.mark.benchmark
 
 
 def test_fig9_query_cost_songs_dfd(benchmark):

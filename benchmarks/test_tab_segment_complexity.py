@@ -18,6 +18,10 @@ from repro.datasets.loaders import load_dataset
 from repro.datasets.songs import generate_song_query
 from repro.distances.frechet import DiscreteFrechet
 
+import pytest
+
+pytestmark = pytest.mark.benchmark
+
 
 def test_segment_pair_complexity(benchmark):
     config = MatcherConfig(min_length=40, max_shift=1)

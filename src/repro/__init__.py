@@ -56,6 +56,7 @@ from repro.sequences import (
 )
 from repro.distances import (
     Distance,
+    DistanceCache,
     ElementMetric,
     Euclidean,
     Hamming,
@@ -129,6 +130,7 @@ __all__ = [
     "SequenceDatabase",
     # distances
     "Distance",
+    "DistanceCache",
     "ElementMetric",
     "Euclidean",
     "Hamming",

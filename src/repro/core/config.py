@@ -39,6 +39,14 @@ class MatcherConfig:
         Step between consecutive query segment start positions (1 = every
         position, exactly as in the paper; larger values trade recall for
         speed and are used by some ablation benchmarks).
+    cache_max_entries:
+        Capacity of the matcher's distance cache.  Any single query (and
+        in particular Type III's whole radius sweep) needs at most
+        ``segments x windows`` index entries plus its verification pairs,
+        so the default comfortably covers full reuse within and across
+        nearby queries while bounding the memory of a long-lived matcher
+        serving a stream of distinct queries (oldest entries are evicted
+        first).  ``None`` disables the bound.
     """
 
     min_length: int
@@ -48,6 +56,7 @@ class MatcherConfig:
     index: str = "reference-net"
     num_references: int = 5
     query_segment_step: int = 1
+    cache_max_entries: Optional[int] = 262_144
 
     _KNOWN_INDEXES = (
         "reference-net",
@@ -83,6 +92,10 @@ class MatcherConfig:
         if self.query_segment_step < 1:
             raise ConfigurationError(
                 f"query_segment_step must be >= 1, got {self.query_segment_step}"
+            )
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ConfigurationError(
+                f"cache_max_entries must be >= 1 or None, got {self.cache_max_entries}"
             )
         if self.window_length < 1:
             raise ConfigurationError(

@@ -33,6 +33,7 @@ from repro.core.queries import (
 from repro.core.segmentation import extract_query_segments, partition_database
 from repro.core.verification import _VerificationCounter, enumerate_matches, verify_chain
 from repro.distances.base import Distance
+from repro.distances.cache import DistanceCache
 from repro.exceptions import ConfigurationError, QueryError
 from repro.indexing.base import MetricIndex
 from repro.indexing.cover_tree import CoverTree
@@ -68,6 +69,14 @@ class SubsequenceMatcher:
         :class:`~repro.core.queries.QueryStats` for the most recent query,
         including index and verification distance counts -- the quantities
         the paper's evaluation reports.
+    distance_cache:
+        The :class:`~repro.distances.cache.DistanceCache` shared between
+        the index and the verification step.  Every (segment, window) and
+        (query subsequence, database subsequence) distance is computed at
+        most once per matcher lifetime; Type III's growing-radius
+        re-queries and repeated chain verifications are answered from the
+        cache, which is what keeps the index's *fresh* computation count
+        below the naive scan's even across the whole radius sweep.
     """
 
     def __init__(
@@ -90,6 +99,7 @@ class SubsequenceMatcher:
         self.distance = distance
         self.config = config
         self.last_query_stats = QueryStats()
+        self.distance_cache = DistanceCache(max_entries=config.cache_max_entries)
         self._windows: List[Window] = []
         self._windows_by_key: Dict[tuple, Window] = {}
         self._index: Optional[MetricIndex] = None
@@ -100,6 +110,7 @@ class SubsequenceMatcher:
     # ------------------------------------------------------------------ #
     def refresh(self) -> None:
         """(Re)run the offline steps: window partitioning and index build."""
+        self.distance_cache.clear()
         self._windows = partition_database(self.database, self.config)
         self._windows_by_key = {window.key: window for window in self._windows}
         self._index = self._build_index()
@@ -110,18 +121,24 @@ class SubsequenceMatcher:
 
     def _build_index(self) -> MetricIndex:
         name = self.config.index
+        cache = self.distance_cache
         if name == "reference-net":
             return ReferenceNet(
-                self.distance, eps_prime=self.config.eps_prime, nummax=self.config.nummax
+                self.distance,
+                eps_prime=self.config.eps_prime,
+                nummax=self.config.nummax,
+                cache=cache,
             )
         if name == "cover-tree":
-            return CoverTree(self.distance, eps_prime=self.config.eps_prime)
+            return CoverTree(self.distance, eps_prime=self.config.eps_prime, cache=cache)
         if name == "reference-based":
-            return ReferenceIndex(self.distance, num_references=self.config.num_references)
+            return ReferenceIndex(
+                self.distance, num_references=self.config.num_references, cache=cache
+            )
         if name == "vp-tree":
-            return VPTree(self.distance)
+            return VPTree(self.distance, cache=cache)
         if name == "linear-scan":
-            return LinearScanIndex(self.distance)
+            return LinearScanIndex(self.distance, cache=cache)
         raise ConfigurationError(f"unknown index {name!r}")  # pragma: no cover
 
     @property
@@ -165,6 +182,7 @@ class SubsequenceMatcher:
                     )
                 )
         stats.index_distance_computations = counter.since_checkpoint()
+        stats.index_cache_hits = counter.cache_hits_since_checkpoint()
         stats.segment_matches = len(matches)
         self.last_query_stats = stats
         return matches
@@ -187,7 +205,14 @@ class SubsequenceMatcher:
         """
         db_sequence = self.database[chain.source_id]
         verified = verify_chain(
-            chain, query, db_sequence, self.distance, radius, self.config, counter
+            chain,
+            query,
+            db_sequence,
+            self.distance,
+            radius,
+            self.config,
+            counter,
+            cache=self.distance_cache,
         )
         if verified is not None or chain.window_count == 1:
             return verified
@@ -244,6 +269,7 @@ class SubsequenceMatcher:
                     self.config,
                     counter,
                     max_results=spec.max_results,
+                    cache=self.distance_cache,
                 )
             else:
                 verified = self._verify_with_fallback(chain, query, spec.radius, counter)
@@ -262,8 +288,10 @@ class SubsequenceMatcher:
                 results.append(match)
                 if spec.max_results is not None and len(results) >= spec.max_results:
                     self.last_query_stats.verification_distance_computations = counter.count
+                    self.last_query_stats.verification_cache_hits = counter.cache_hits
                     return results
         self.last_query_stats.verification_distance_computations = counter.count
+        self.last_query_stats.verification_cache_hits = counter.cache_hits
         return results
 
     def longest_similar(
@@ -298,6 +326,7 @@ class SubsequenceMatcher:
             ):
                 best = verified
         self.last_query_stats.verification_distance_computations = counter.count
+        self.last_query_stats.verification_cache_hits = counter.cache_hits
         return best
 
     def nearest_subsequence(
@@ -316,8 +345,15 @@ class SubsequenceMatcher:
             return None
 
         # Binary search for the minimal radius producing segment matches.
+        # Its step-3/4 work is part of answering the query, so it is folded
+        # into the aggregate stats; thanks to the distance cache the probes
+        # after the first one mostly re-use already-measured pairs.
+        aggregate_stats = QueryStats()
         low, high = 0.0, spec.max_radius
-        if not self.segment_matches(query, high):
+        found = self.segment_matches(query, high)
+        aggregate_stats = self._merge_stats(aggregate_stats, self.last_query_stats)
+        if not found:
+            self.last_query_stats = aggregate_stats
             raise QueryError(
                 f"no segment matches even at max_radius={spec.max_radius}; "
                 "increase max_radius"
@@ -328,13 +364,13 @@ class SubsequenceMatcher:
                 high = mid
             else:
                 low = mid
+            aggregate_stats = self._merge_stats(aggregate_stats, self.last_query_stats)
 
         increment = spec.radius_increment
         if increment is None:
             increment = max(spec.tolerance, 0.05 * spec.max_radius)
 
         radius = high
-        aggregate_stats = QueryStats()
         while radius <= spec.max_radius + 1e-12:
             best = self._nearest_at_radius(query, radius)
             aggregate_stats = self._merge_stats(aggregate_stats, self.last_query_stats)
@@ -359,6 +395,7 @@ class SubsequenceMatcher:
             if best is None or verified.distance < best.distance:
                 best = verified
         self.last_query_stats.verification_distance_computations = counter.count
+        self.last_query_stats.verification_cache_hits = counter.cache_hits
         return best
 
     @staticmethod
@@ -377,6 +414,10 @@ class SubsequenceMatcher:
             candidate_chains=max(total.candidate_chains, step.candidate_chains),
             naive_distance_computations=max(
                 total.naive_distance_computations, step.naive_distance_computations
+            ),
+            index_cache_hits=total.index_cache_hits + step.index_cache_hits,
+            verification_cache_hits=(
+                total.verification_cache_hits + step.verification_cache_hits
             ),
         )
 

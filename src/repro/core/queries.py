@@ -153,9 +153,15 @@ class QueryStats:
     segments_extracted:
         Number of query segments considered (step 3).
     index_distance_computations:
-        Distance evaluations spent inside the index during step 4.
+        Fresh distance evaluations spent inside the index during step 4.
+    index_cache_hits:
+        Step-4 distance requests answered by the matcher's distance cache
+        (no kernel was run); counted separately so the computation counts
+        keep matching the paper's definition.
     verification_distance_computations:
-        Distance evaluations spent verifying candidates during step 5.
+        Fresh distance evaluations spent verifying candidates during step 5.
+    verification_cache_hits:
+        Step-5 distance requests answered by the distance cache.
     segment_matches:
         Number of (segment, window) pairs produced by step 4.
     candidate_chains:
@@ -172,11 +178,18 @@ class QueryStats:
     segment_matches: int = 0
     candidate_chains: int = 0
     naive_distance_computations: int = 0
+    index_cache_hits: int = 0
+    verification_cache_hits: int = 0
 
     @property
     def total_distance_computations(self) -> int:
-        """All distance evaluations performed while answering the query."""
+        """All fresh distance evaluations performed while answering the query."""
         return self.index_distance_computations + self.verification_distance_computations
+
+    @property
+    def total_cache_hits(self) -> int:
+        """All distance requests the cache answered while answering the query."""
+        return self.index_cache_hits + self.verification_cache_hits
 
     @property
     def pruning_ratio(self) -> float:

@@ -23,6 +23,7 @@ from repro.core.candidates import CandidateChain
 from repro.core.config import MatcherConfig
 from repro.core.queries import SubsequenceMatch
 from repro.distances.base import Distance
+from repro.distances.cache import DistanceCache
 from repro.sequences.sequence import Sequence
 
 
@@ -77,10 +78,43 @@ def _admissible(
 
 
 class _VerificationCounter:
-    """Tiny helper so the matcher can report verification-time distance work."""
+    """Tiny helper so the matcher can report verification-time distance work.
+
+    ``count`` is fresh kernel executions; ``cache_hits`` is distance
+    requests answered by the matcher's :class:`DistanceCache`.
+    """
 
     def __init__(self) -> None:
         self.count = 0
+        self.cache_hits = 0
+
+
+def _measure(
+    distance: Distance,
+    first: Sequence,
+    second: Sequence,
+    radius: float,
+    counter: _VerificationCounter,
+    cache: Optional[DistanceCache],
+) -> float:
+    """One verification-time distance request, early-abandoned past ``radius``.
+
+    The returned value is exact whenever it is at most ``radius`` (which is
+    all verification decisions need); beyond the radius it may be ``inf``.
+    Results -- including abandoned lower bounds -- go through the shared
+    cache so Type III's repeated re-verification of the same chain at
+    growing radii never recomputes a pair.
+    """
+    if cache is not None:
+        cached = cache.lookup(first, second, cutoff=radius)
+        if cached is not None:
+            counter.cache_hits += 1
+            return cached
+    value = distance.bounded(first, second, radius)
+    counter.count += 1
+    if cache is not None:
+        cache.store(first, second, value, cutoff=radius)
+    return value
 
 
 def verify_chain(
@@ -91,6 +125,7 @@ def verify_chain(
     radius: float,
     config: MatcherConfig,
     counter: Optional[_VerificationCounter] = None,
+    cache: Optional[DistanceCache] = None,
 ) -> Optional[SubsequenceMatch]:
     """Verify ``chain`` and greedily extend it into the longest passing match.
 
@@ -130,9 +165,13 @@ def verify_chain(
         seen_spans.add(span)
         if not _admissible(q_start, q_stop, x_start, x_stop, config, equal_only):
             continue
-        counter.count += 1
-        value = distance(
-            query.subsequence(q_start, q_stop), db_sequence.subsequence(x_start, x_stop)
+        value = _measure(
+            distance,
+            query.subsequence(q_start, q_stop),
+            db_sequence.subsequence(x_start, x_stop),
+            radius,
+            counter,
+            cache,
         )
         if value > radius:
             continue
@@ -174,8 +213,14 @@ def verify_chain(
                 continue
             if (q1 - q0) + (x1 - x0) <= best.query_length + best.db_length:
                 continue
-            counter.count += 1
-            value = distance(query.subsequence(q0, q1), db_sequence.subsequence(x0, x1))
+            value = _measure(
+                distance,
+                query.subsequence(q0, q1),
+                db_sequence.subsequence(x0, x1),
+                radius,
+                counter,
+                cache,
+            )
             if value <= radius:
                 best = SubsequenceMatch(
                     distance=value,
@@ -258,6 +303,7 @@ def enumerate_matches(
     config: MatcherConfig,
     counter: Optional[_VerificationCounter] = None,
     max_results: Optional[int] = None,
+    cache: Optional[DistanceCache] = None,
 ) -> List[SubsequenceMatch]:
     """Exhaustively verify every admissible endpoint combination for ``chain``.
 
@@ -279,10 +325,13 @@ def enumerate_matches(
                 for x_stop in x_stops:
                     if not _admissible(q_start, q_stop, x_start, x_stop, config, equal_only):
                         continue
-                    counter.count += 1
-                    value = distance(
+                    value = _measure(
+                        distance,
                         query.subsequence(q_start, q_stop),
                         db_sequence.subsequence(x_start, x_stop),
+                        radius,
+                        counter,
+                        cache,
                     )
                     if value <= radius:
                         results.append(

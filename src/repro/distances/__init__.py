@@ -19,6 +19,7 @@ as extensions.
 """
 
 from repro.distances.base import Distance, ElementMetric
+from repro.distances.cache import DistanceCache
 from repro.distances.euclidean import Euclidean
 from repro.distances.hamming import Hamming
 from repro.distances.levenshtein import Levenshtein, WeightedLevenshtein
@@ -32,6 +33,7 @@ from repro.distances.registry import get_distance, register_distance, available_
 
 __all__ = [
     "Distance",
+    "DistanceCache",
     "ElementMetric",
     "Euclidean",
     "Hamming",

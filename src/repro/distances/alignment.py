@@ -7,9 +7,32 @@ first ``j`` elements of the other.  The measures differ only in the
 recurrence: DTW/Fréchet couple elements without gap penalties (aggregating by
 sum or maximum), whereas ERP and Levenshtein pay explicit gap costs.
 
-This module provides the table-filling kernels and the traceback that turns
-a filled table into an explicit alignment (a list of *couplings*), which is
-what the paper's consistency proof reasons about.
+The kernels here are *row-vectorized*: a table row depends on the previous
+row element-wise and on itself through a left-to-right scan, and both parts
+are expressed as NumPy primitives instead of per-cell Python arithmetic.
+
+For the additive recurrences (DTW, ERP, Levenshtein, EDR) the in-row scan
+``row[j] = min(entry[j], row[j-1] + step[j])`` unrolls to
+
+    row[j] = S[j] + min_{k <= j} (entry[k] - S[k]),   S = cumsum(step),
+
+i.e. a single ``np.minimum.accumulate``.  For the bottleneck recurrence
+(discrete Fréchet) the scan ``row[j] = max(c[j], min(entry[j], row[j-1]))``
+is solved by doubling: after ``ceil(log2(m))`` shifted min/max passes every
+horizontal run length has been considered.
+
+Besides the full tables (still needed by the tracebacks), the module offers
+*value-only* variants (:func:`warping_distance`, :func:`edit_distance_value`)
+that keep a two-row working set and support **early abandoning**: every
+complete alignment path visits at least one cell of every row and table
+values never decrease along a path, so once a row's minimum exceeds the
+caller's ``cutoff`` the final distance must exceed it too and the kernel
+returns ``inf`` immediately.  This is what backs the
+:meth:`repro.distances.base.Distance.compute_bounded` API.
+
+This module also provides the traceback that turns a filled table into an
+explicit alignment (a list of *couplings*), which is what the paper's
+consistency proof reasons about.
 """
 
 from __future__ import annotations
@@ -23,6 +46,8 @@ from repro.exceptions import DistanceError
 
 #: A coupling pairs index ``i`` of the first sequence with index ``j`` of the second.
 Coupling = Tuple[int, int]
+
+_INF = float("inf")
 
 
 @dataclass(frozen=True)
@@ -57,6 +82,76 @@ def _validate_cost_matrix(cost: np.ndarray) -> None:
         raise DistanceError("cost matrix must be a non-empty 2-D array")
 
 
+def _band_limits(i: int, m: int, band: Optional[int]) -> Tuple[int, int]:
+    """Half-open column range of row ``i`` inside a Sakoe-Chiba band."""
+    if band is None:
+        return 0, m
+    return max(0, i - band), min(m, i + band + 1)
+
+
+def _sum_row(
+    cost_row: np.ndarray,
+    prev: Optional[np.ndarray],
+    j_start: int,
+    j_stop: int,
+) -> np.ndarray:
+    """One vectorized row of the additive (DTW-style) warping recurrence."""
+    m = cost_row.shape[0]
+    entry = np.full(m, _INF)
+    if prev is None:
+        if j_start == 0:
+            entry[0] = cost_row[0]
+    else:
+        base = np.empty(m)
+        base[0] = prev[0]
+        np.minimum(prev[1:], prev[:-1], out=base[1:])
+        entry[j_start:j_stop] = base[j_start:j_stop] + cost_row[j_start:j_stop]
+    # Unrolled in-row scan: row[j] = S[j] + min_{k <= j} (entry[k] - S[k]).
+    prefix = np.cumsum(cost_row)
+    row = prefix + np.minimum.accumulate(entry - prefix)
+    if j_start > 0:
+        row[:j_start] = _INF
+    if j_stop < m:
+        row[j_stop:] = _INF
+    return row
+
+
+def _max_row(
+    cost_row: np.ndarray,
+    prev: Optional[np.ndarray],
+    j_start: int,
+    j_stop: int,
+) -> np.ndarray:
+    """One vectorized row of the bottleneck (Fréchet-style) recurrence."""
+    m = cost_row.shape[0]
+    step = np.full(m, _INF)
+    step[j_start:j_stop] = cost_row[j_start:j_stop]
+    entry = np.full(m, _INF)
+    if prev is None:
+        if j_start == 0:
+            entry[0] = cost_row[0]
+    else:
+        base = np.empty(m)
+        base[0] = prev[0]
+        np.minimum(prev[1:], prev[:-1], out=base[1:])
+        entry = np.maximum(base, step)
+    # Doubling scan: after the pass for shift s, row[j] accounts for every
+    # horizontal run of length < 2s ending at j; run_max[j] is the maximum
+    # step cost over the last s columns ending at j.
+    row = entry
+    run_max = step
+    shift = 1
+    while shift < m:
+        shifted_row = np.full(m, _INF)
+        shifted_row[shift:] = row[:-shift]
+        row = np.minimum(row, np.maximum(shifted_row, run_max))
+        shifted_max = np.full(m, -_INF)
+        shifted_max[shift:] = run_max[:-shift]
+        run_max = np.maximum(run_max, shifted_max)
+        shift *= 2
+    return row
+
+
 def warping_table(
     cost: np.ndarray,
     aggregate: str = "sum",
@@ -83,44 +178,165 @@ def warping_table(
     _validate_cost_matrix(cost)
     if aggregate not in ("sum", "max"):
         raise DistanceError(f"aggregate must be 'sum' or 'max', got {aggregate!r}")
+    cost = np.asarray(cost, dtype=np.float64)
     n, m = cost.shape
-    use_sum = aggregate == "sum"
-    inf = float("inf")
+    fill_row = _sum_row if aggregate == "sum" else _max_row
+    table = np.empty((n, m), dtype=np.float64)
+    prev: Optional[np.ndarray] = None
+    for i in range(n):
+        j_start, j_stop = _band_limits(i, m, band)
+        prev = fill_row(cost[i], prev, j_start, j_stop)
+        table[i] = prev
+    return table
+
+
+def warping_distance(
+    cost: np.ndarray,
+    aggregate: str = "sum",
+    band: Optional[int] = None,
+    cutoff: Optional[float] = None,
+) -> float:
+    """The bottom-right value of :func:`warping_table`, without the table.
+
+    This is the hot-path kernel: it keeps a two-row (or two-diagonal)
+    working set, avoids per-iteration allocations, and, when ``cutoff`` is
+    given, abandons as soon as the table front's minimum exceeds it
+    (returning ``inf``).  ``inf`` is also returned when no warping path fits
+    inside the band.
+    """
+    _validate_cost_matrix(cost)
+    if aggregate not in ("sum", "max"):
+        raise DistanceError(f"aggregate must be 'sum' or 'max', got {aggregate!r}")
+    cost = np.asarray(cost, dtype=np.float64)
+    if aggregate == "sum":
+        return _warp_sum_value(cost, band, cutoff)
+    if cost.size <= _SMALL_TABLE_CELLS:
+        return _warp_max_value_small(cost, band, cutoff)
+    return _warp_max_value(cost, band, cutoff)
+
+
+def _warp_sum_value(cost: np.ndarray, band: Optional[int], cutoff: Optional[float]) -> float:
+    """Row-sweep DTW value: the in-row scan is one ``np.minimum.accumulate``.
+
+    Works in *reduced* coordinates ``row - S`` (``S`` the row-wise prefix sum
+    of the costs), where the recurrence's in-row part becomes a pure running
+    minimum; ``entry - S[i] = min(prev, shift(prev)) - Z[i]`` with ``Z`` the
+    right-shifted prefix sums.
+    """
+    n, m = cost.shape
+    prefix = np.cumsum(cost, axis=1)
+    shifted_prefix = np.empty_like(prefix)
+    shifted_prefix[:, 0] = 0.0
+    shifted_prefix[:, 1:] = prefix[:, :-1]
+    _, j_stop = _band_limits(0, m, band)
+    row = prefix[0].copy()
+    if j_stop < m:
+        row[j_stop:] = _INF
+    if cutoff is not None and row[0] > cutoff:
+        return _INF
+    buf = np.empty(m)
+    for i in range(1, n):
+        j_start, j_stop = _band_limits(i, m, band)
+        np.minimum(row[1:], row[:-1], out=buf[1:])
+        buf[0] = row[0]
+        if j_start > 0:
+            buf[:j_start] = _INF
+        if j_stop < m:
+            buf[j_stop:] = _INF
+        np.subtract(buf, shifted_prefix[i], out=buf)
+        np.minimum.accumulate(buf, out=buf)
+        np.add(buf, prefix[i], out=buf)
+        if j_stop < m:
+            buf[j_stop:] = _INF
+        row, buf = buf, row
+        if cutoff is not None and np.min(row) > cutoff:
+            return _INF
+    return float(row[-1])
+
+
+#: Below this many table cells the per-operation overhead of NumPy outweighs
+#: its throughput and a tight scalar loop is faster; the vectorized and
+#: scalar paths are equivalence-tested against each other.
+_SMALL_TABLE_CELLS = 1024
+
+
+def _warp_max_value_small(
+    cost: np.ndarray, band: Optional[int], cutoff: Optional[float]
+) -> float:
+    """Scalar discrete-Fréchet value for small tables, with early abandon."""
+    n, m = cost.shape
     cost_rows = cost.tolist()
-    # The table is filled with plain Python floats: the windows this library
-    # aligns are short (tens of elements) but the kernel runs millions of
-    # times, and per-cell numpy indexing would dominate the runtime.
-    rows: List[List[float]] = []
+    prev: Optional[List[float]] = None
     for i in range(n):
         cost_row = cost_rows[i]
-        prev_row = rows[i - 1] if i > 0 else None
-        row = [inf] * m
-        if band is None:
-            j_start, j_stop = 0, m
-        else:
-            j_start = max(0, i - band)
-            j_stop = min(m, i + band + 1)
+        j_start, j_stop = _band_limits(i, m, band)
+        row = [_INF] * m
+        row_min = _INF
         for j in range(j_start, j_stop):
             c = cost_row[j]
             if i == 0 and j == 0:
                 best = 0.0
             else:
-                best = inf
-                if prev_row is not None:
-                    if j > 0 and prev_row[j - 1] < best:
-                        best = prev_row[j - 1]
-                    if prev_row[j] < best:
-                        best = prev_row[j]
+                best = _INF
+                if prev is not None:
+                    if j > 0 and prev[j - 1] < best:
+                        best = prev[j - 1]
+                    if prev[j] < best:
+                        best = prev[j]
                 if j > 0 and row[j - 1] < best:
                     best = row[j - 1]
-            if best == inf:
-                continue
-            if use_sum:
-                row[j] = best + c
-            else:
-                row[j] = best if best > c else c
-        rows.append(row)
-    return np.asarray(rows, dtype=np.float64)
+                if best == _INF:
+                    continue
+            value = best if best > c else c
+            row[j] = value
+            if value < row_min:
+                row_min = value
+        if cutoff is not None and row_min > cutoff:
+            return _INF
+        prev = row
+    assert prev is not None
+    return prev[-1]
+
+
+def _warp_max_value(cost: np.ndarray, band: Optional[int], cutoff: Optional[float]) -> float:
+    """Anti-diagonal discrete-Fréchet value.
+
+    The bottleneck recurrence has no closed-form in-row scan, but cells of
+    one anti-diagonal are mutually independent (they depend only on the two
+    previous diagonals), so sweeping diagonals needs nothing beyond
+    element-wise ``np.minimum``/``np.maximum`` over shifted slices.  Buffers
+    are indexed by ``i + 1`` so the ``i - 1`` accesses never wrap.
+
+    The early-abandon test uses two consecutive diagonals: every monotone
+    path advances ``i + j`` by 1 or 2 per step, so it must visit one of
+    them, and values never decrease along a path.
+    """
+    n, m = cost.shape
+    flipped = np.fliplr(cost)
+    diag_prev2 = np.full(n + 1, _INF)
+    diag_prev = np.full(n + 1, _INF)
+    cur = np.full(n + 1, _INF)
+    diag_prev[1] = cost[0, 0]
+    for d in range(1, n + m - 1):
+        lo = max(0, d - m + 1)
+        hi = min(n - 1, d)
+        if band is not None:
+            lo = max(lo, (d - band + 1) // 2)
+            hi = min(hi, (d + band) // 2)
+        cur.fill(_INF)
+        if lo <= hi:
+            # np.diagonal of the left-right flip walks cost[i, d - i] for
+            # increasing i, starting at i0.
+            cost_diag = np.diagonal(flipped, offset=m - 1 - d)
+            i0 = max(0, d - m + 1)
+            best = np.minimum(diag_prev[lo + 1 : hi + 2], diag_prev[lo : hi + 1])
+            np.minimum(best, diag_prev2[lo : hi + 1], out=best)
+            np.maximum(best, cost_diag[lo - i0 : hi - i0 + 1], out=best)
+            cur[lo + 1 : hi + 2] = best
+        if cutoff is not None and min(np.min(cur), np.min(diag_prev)) > cutoff:
+            return _INF
+        diag_prev2, diag_prev, cur = diag_prev, cur, diag_prev2
+    return float(diag_prev[n])
 
 
 def warping_traceback(table: np.ndarray, cost: np.ndarray, aggregate: str = "sum") -> Alignment:
@@ -142,6 +358,36 @@ def warping_traceback(table: np.ndarray, cost: np.ndarray, aggregate: str = "sum
         couplings.append((i, j))
     couplings.reverse()
     return Alignment(tuple(couplings), float(table[n - 1, m - 1]))
+
+
+def _validate_edit_inputs(
+    substitution: np.ndarray,
+    deletion: np.ndarray,
+    insertion: np.ndarray,
+) -> None:
+    _validate_cost_matrix(substitution)
+    n, m = substitution.shape
+    if deletion.shape != (n,) or insertion.shape != (m,):
+        raise DistanceError("gap cost vectors do not match the substitution matrix")
+
+
+def _edit_row(
+    prev: np.ndarray,
+    sub_row: np.ndarray,
+    delete_cost: float,
+    insertion_prefix: np.ndarray,
+) -> np.ndarray:
+    """One vectorized row of the edit-distance recurrence.
+
+    ``insertion_prefix`` is the length-``m + 1`` cumulative sum of the
+    insertion costs (``insertion_prefix[0] == 0``), so the in-row scan
+    ``row[j] = min(entry[j], row[j-1] + insertion[j-1])`` unrolls to a single
+    ``np.minimum.accumulate`` exactly as in :func:`_sum_row`.
+    """
+    entry = np.empty_like(prev)
+    entry[0] = prev[0] + delete_cost
+    np.minimum(prev[:-1] + sub_row, prev[1:] + delete_cost, out=entry[1:])
+    return insertion_prefix + np.minimum.accumulate(entry - insertion_prefix)
 
 
 def edit_table(
@@ -176,38 +422,100 @@ def edit_table(
     numpy.ndarray
         The ``(n + 1, m + 1)`` table; the bottom-right cell is the distance.
     """
-    _validate_cost_matrix(substitution)
+    _validate_edit_inputs(substitution, deletion, insertion)
+    substitution = np.asarray(substitution, dtype=np.float64)
     n, m = substitution.shape
-    if deletion.shape != (n,) or insertion.shape != (m,):
-        raise DistanceError("gap cost vectors do not match the substitution matrix")
+    insertion_prefix = np.concatenate(([0.0], np.cumsum(insertion)))
+    table = np.empty((n + 1, m + 1), dtype=np.float64)
+    table[0] = insertion_prefix
+    for i in range(1, n + 1):
+        table[i] = _edit_row(
+            table[i - 1], substitution[i - 1], float(deletion[i - 1]), insertion_prefix
+        )
+    return table
+
+
+def edit_distance_value(
+    substitution: np.ndarray,
+    deletion: np.ndarray,
+    insertion: np.ndarray,
+    cutoff: Optional[float] = None,
+) -> float:
+    """The bottom-right value of :func:`edit_table`, without the table.
+
+    The hot-path kernel works in *reduced* coordinates ``row - Ic`` (``Ic``
+    the cumulative insertion costs), which turns the in-row scan into one
+    ``np.minimum.accumulate`` and leaves just four vector operations per
+    row.  When ``cutoff`` is given, the computation is abandoned (returning
+    ``inf``) as soon as a row's minimum exceeds it; all edit costs are
+    non-negative, so row minima never decrease.
+    """
+    _validate_edit_inputs(substitution, deletion, insertion)
+    substitution = np.asarray(substitution, dtype=np.float64)
+    n, m = substitution.shape
+    if substitution.size <= _SMALL_TABLE_CELLS:
+        return _edit_value_small(substitution, deletion, insertion, cutoff)
+    insertion = np.asarray(insertion, dtype=np.float64)
+    insertion_prefix = np.concatenate(([0.0], np.cumsum(insertion)))
+    # In reduced coordinates the diagonal step costs substitution - insertion
+    # and the vertical step costs the plain deletion.
+    reduced_substitution = substitution - insertion[None, :]
+    deletion_costs = np.asarray(deletion, dtype=np.float64).tolist()
+    reduced = np.zeros(m + 1)
+    buf = np.empty(m + 1)
+    scratch = np.empty(m + 1)
+    for i in range(n):
+        delete_cost = deletion_costs[i]
+        np.add(reduced[:-1], reduced_substitution[i], out=buf[1:])
+        np.add(reduced[1:], delete_cost, out=scratch[1:])
+        np.minimum(buf[1:], scratch[1:], out=buf[1:])
+        buf[0] = reduced[0] + delete_cost
+        np.minimum.accumulate(buf, out=buf)
+        reduced, buf = buf, reduced
+        if cutoff is not None:
+            np.add(reduced, insertion_prefix, out=scratch)
+            if np.min(scratch) > cutoff:
+                return _INF
+    return float(reduced[-1] + insertion_prefix[-1])
+
+
+def _edit_value_small(
+    substitution: np.ndarray,
+    deletion: np.ndarray,
+    insertion: np.ndarray,
+    cutoff: Optional[float],
+) -> float:
+    """Scalar edit-distance value for small tables, with early abandon."""
+    n, m = substitution.shape
     sub_rows = substitution.tolist()
     del_costs = deletion.tolist()
     ins_costs = insertion.tolist()
-    # Same rationale as warping_table: plain-float rows keep the hot DP loop
-    # an order of magnitude faster than per-cell numpy indexing.
-    first_row = [0.0] * (m + 1)
+    row = [0.0] * (m + 1)
     acc = 0.0
     for j in range(1, m + 1):
         acc += ins_costs[j - 1]
-        first_row[j] = acc
-    rows: List[List[float]] = [first_row]
+        row[j] = acc
     for i in range(1, n + 1):
         sub_row = sub_rows[i - 1]
         delete_cost = del_costs[i - 1]
-        prev_row = rows[i - 1]
-        row = [0.0] * (m + 1)
-        row[0] = prev_row[0] + delete_cost
+        prev = row
+        first = prev[0] + delete_cost
+        row = [first] * (m + 1)
+        row_min = first
         for j in range(1, m + 1):
-            best = prev_row[j - 1] + sub_row[j - 1]
-            up = prev_row[j] + delete_cost
+            best = prev[j - 1] + sub_row[j - 1]
+            up = prev[j] + delete_cost
             if up < best:
                 best = up
             left = row[j - 1] + ins_costs[j - 1]
             if left < best:
                 best = left
             row[j] = best
-        rows.append(row)
-    return np.asarray(rows, dtype=np.float64)
+            if best < row_min:
+                row_min = best
+        if cutoff is not None and row_min > cutoff:
+            return _INF
+    return row[-1]
 
 
 def edit_traceback(
@@ -231,3 +539,25 @@ def edit_traceback(
             j -= 1
     couplings.reverse()
     return Alignment(tuple(couplings), float(table[n, m]))
+
+
+def lcss_length(matches: np.ndarray) -> int:
+    """Length of the longest common subsequence given a boolean match matrix.
+
+    Row-vectorized: where elements match the cell is ``prev[j-1] + 1`` (which
+    dominates the other options in the LCS table), elsewhere it is
+    ``max(prev[j], cur[j-1])``; the in-row maximum is a running
+    ``np.maximum.accumulate`` because LCS rows are non-decreasing.
+    """
+    if matches.ndim != 2 or matches.shape[0] == 0 or matches.shape[1] == 0:
+        raise DistanceError("match matrix must be a non-empty 2-D array")
+    match_matrix = np.asarray(matches, dtype=bool)
+    n, m = match_matrix.shape
+    prev = np.zeros(m + 1, dtype=np.int64)
+    cur = np.zeros(m + 1, dtype=np.int64)
+    for i in range(n):
+        np.maximum.accumulate(
+            np.where(match_matrix[i], prev[:-1] + 1, prev[1:]), out=cur[1:]
+        )
+        prev, cur = cur, prev
+    return int(prev[-1])

@@ -146,6 +146,25 @@ class Distance(abc.ABC):
 
     def __call__(self, first: SequenceLike, second: SequenceLike) -> float:
         """Distance between two sequences (after shape normalisation)."""
+        a, b = self._coerce_pair(first, second)
+        return float(self.compute(a, b))
+
+    def bounded(self, first: SequenceLike, second: SequenceLike, cutoff: float) -> float:
+        """Distance between two sequences, early-abandoned beyond ``cutoff``.
+
+        Returns the exact distance whenever it is at most ``cutoff``;
+        otherwise any value strictly greater than ``cutoff`` (typically
+        ``inf``) may be returned.  Callers that only need to know whether a
+        pair is within a query radius -- the matcher's verification step and
+        the linear-scan index -- use this to let the DP kernels stop as soon
+        as a table row proves the radius unreachable.
+        """
+        a, b = self._coerce_pair(first, second)
+        return float(self.compute_bounded(a, b, float(cutoff)))
+
+    def _coerce_pair(
+        self, first: SequenceLike, second: SequenceLike
+    ) -> "tuple[np.ndarray, np.ndarray]":
         a = as_array(first)
         b = as_array(second)
         check_same_dim(a, b)
@@ -154,11 +173,20 @@ class Distance(abc.ABC):
                 f"{self.name} requires equal-length sequences, "
                 f"got {a.shape[0]} and {b.shape[0]}"
             )
-        return float(self.compute(a, b))
+        return a, b
 
     @abc.abstractmethod
     def compute(self, first: np.ndarray, second: np.ndarray) -> float:
         """Distance between two ``(length, dim)`` arrays."""
+
+    def compute_bounded(self, first: np.ndarray, second: np.ndarray, cutoff: float) -> float:
+        """:meth:`compute` with permission to abandon beyond ``cutoff``.
+
+        The default simply computes the exact distance; kernels with
+        row-monotone DP tables (DTW, ERP, Levenshtein, EDR, Fréchet)
+        override it to stop once a row's minimum exceeds ``cutoff``.
+        """
+        return self.compute(first, second)
 
     # ------------------------------------------------------------------ #
     # Optional capabilities

@@ -15,7 +15,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.distances.alignment import Alignment, warping_table, warping_traceback
+from repro.distances.alignment import (
+    Alignment,
+    warping_distance,
+    warping_table,
+    warping_traceback,
+)
 from repro.distances.base import Distance, ElementMetric, as_array, check_same_dim
 from repro.exceptions import DistanceError
 
@@ -50,14 +55,23 @@ class DTW(Distance):
 
     def compute(self, first: np.ndarray, second: np.ndarray) -> float:
         cost = self.element_metric.matrix(first, second)
-        table = warping_table(cost, aggregate="sum", band=self.band)
-        value = float(table[-1, -1])
+        value = warping_distance(cost, aggregate="sum", band=self.band)
         if np.isinf(value):
             raise DistanceError(
                 "no warping path fits within the Sakoe-Chiba band; "
                 "widen the band or use unconstrained DTW"
             )
         return value
+
+    def compute_bounded(self, first: np.ndarray, second: np.ndarray, cutoff: float) -> float:
+        """Early-abandoning DTW: ``inf`` once a table row exceeds ``cutoff``.
+
+        Note that with a band configured an infeasible alignment also yields
+        ``inf`` here (instead of the error :meth:`compute` raises), because
+        the abandoned computation cannot tell the two apart.
+        """
+        cost = self.element_metric.matrix(first, second)
+        return warping_distance(cost, aggregate="sum", band=self.band, cutoff=cutoff)
 
     def alignment(self, first, second) -> Alignment:
         """Return the optimal warping alignment (the coupling sequence C)."""

@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.distances.alignment import edit_table
+from repro.distances.alignment import edit_distance_value
 from repro.distances.base import Distance, ElementMetric
 from repro.exceptions import DistanceError
 
@@ -43,12 +43,17 @@ class EDR(Distance):
         self.element_metric = element_metric or ElementMetric("euclidean")
 
     def compute(self, first: np.ndarray, second: np.ndarray) -> float:
+        return self.compute_bounded(first, second, None)
+
+    def compute_bounded(
+        self, first: np.ndarray, second: np.ndarray, cutoff: Optional[float]
+    ) -> float:
+        """Early-abandoning EDR: all edit operations cost 0 or 1."""
         ground = self.element_metric.matrix(first, second)
         substitution = (ground > self.epsilon).astype(np.float64)
         deletion = np.ones(first.shape[0], dtype=np.float64)
         insertion = np.ones(second.shape[0], dtype=np.float64)
-        table = edit_table(substitution, deletion, insertion)
-        return float(table[-1, -1])
+        return edit_distance_value(substitution, deletion, insertion, cutoff=cutoff)
 
     def __repr__(self) -> str:
         return f"EDR(epsilon={self.epsilon}, element_metric={self.element_metric!r})"

@@ -14,7 +14,12 @@ from typing import Optional, Sequence as TypingSequence, Union
 
 import numpy as np
 
-from repro.distances.alignment import Alignment, edit_table, edit_traceback
+from repro.distances.alignment import (
+    Alignment,
+    edit_distance_value,
+    edit_table,
+    edit_traceback,
+)
 from repro.distances.base import Distance, ElementMetric, as_array, check_same_dim
 from repro.exceptions import DistanceError
 
@@ -63,8 +68,15 @@ class ERP(Distance):
         substitution = self.element_metric.matrix(first, second)
         deletion = self.element_metric.to_origin(first, gap)
         insertion = self.element_metric.to_origin(second, gap)
-        table = edit_table(substitution, deletion, insertion)
-        return float(table[-1, -1])
+        return edit_distance_value(substitution, deletion, insertion)
+
+    def compute_bounded(self, first: np.ndarray, second: np.ndarray, cutoff: float) -> float:
+        """Early-abandoning ERP: gap and match costs are all non-negative."""
+        gap = self._gap_vector(first.shape[1])
+        substitution = self.element_metric.matrix(first, second)
+        deletion = self.element_metric.to_origin(first, gap)
+        insertion = self.element_metric.to_origin(second, gap)
+        return edit_distance_value(substitution, deletion, insertion, cutoff=cutoff)
 
     def alignment(self, first, second) -> Alignment:
         """Return one optimal ERP alignment (gap operations excluded)."""

@@ -14,7 +14,12 @@ from typing import Optional
 
 import numpy as np
 
-from repro.distances.alignment import Alignment, warping_table, warping_traceback
+from repro.distances.alignment import (
+    Alignment,
+    warping_distance,
+    warping_table,
+    warping_traceback,
+)
 from repro.distances.base import Distance, ElementMetric, as_array, check_same_dim
 
 
@@ -36,8 +41,12 @@ class DiscreteFrechet(Distance):
 
     def compute(self, first: np.ndarray, second: np.ndarray) -> float:
         cost = self.element_metric.matrix(first, second)
-        table = warping_table(cost, aggregate="max")
-        return float(table[-1, -1])
+        return warping_distance(cost, aggregate="max")
+
+    def compute_bounded(self, first: np.ndarray, second: np.ndarray, cutoff: float) -> float:
+        """Early-abandoning DFD: every row's minimum lower-bounds the result."""
+        cost = self.element_metric.matrix(first, second)
+        return warping_distance(cost, aggregate="max", cutoff=cutoff)
 
     def alignment(self, first, second) -> Alignment:
         """Return the optimal bottleneck alignment."""

@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.distances.alignment import lcss_length
 from repro.distances.base import Distance, ElementMetric
 from repro.exceptions import DistanceError
 
@@ -42,21 +43,7 @@ class LCSS(Distance):
     def similarity_length(self, first: np.ndarray, second: np.ndarray) -> int:
         """Length of the longest common (threshold-matched) subsequence."""
         ground = self.element_metric.matrix(first, second)
-        matches = (ground <= self.epsilon).tolist()
-        n, m = ground.shape
-        previous = [0] * (m + 1)
-        for i in range(1, n + 1):
-            row_matches = matches[i - 1]
-            current = [0] * (m + 1)
-            for j in range(1, m + 1):
-                if row_matches[j - 1]:
-                    current[j] = previous[j - 1] + 1
-                else:
-                    up = previous[j]
-                    left = current[j - 1]
-                    current[j] = up if up >= left else left
-            previous = current
-        return int(previous[m])
+        return lcss_length(ground <= self.epsilon)
 
     def compute(self, first: np.ndarray, second: np.ndarray) -> float:
         common = self.similarity_length(first, second)

@@ -18,7 +18,12 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.distances.alignment import Alignment, edit_table, edit_traceback
+from repro.distances.alignment import (
+    Alignment,
+    edit_distance_value,
+    edit_table,
+    edit_traceback,
+)
 from repro.distances.base import Distance
 from repro.exceptions import DistanceError
 
@@ -36,13 +41,18 @@ class Levenshtein(Distance):
     supports_unequal_lengths = True
 
     def compute(self, first: np.ndarray, second: np.ndarray) -> float:
+        return self.compute_bounded(first, second, None)
+
+    def compute_bounded(
+        self, first: np.ndarray, second: np.ndarray, cutoff: Optional[float]
+    ) -> float:
+        """Early-abandoning edit distance: unit costs keep rows monotone."""
         substitution = (np.any(first[:, None, :] != second[None, :, :], axis=2)).astype(
             np.float64
         )
         deletion = np.ones(first.shape[0], dtype=np.float64)
         insertion = np.ones(second.shape[0], dtype=np.float64)
-        table = edit_table(substitution, deletion, insertion)
-        return float(table[-1, -1])
+        return edit_distance_value(substitution, deletion, insertion, cutoff=cutoff)
 
     def alignment(self, first, second) -> Alignment:
         """Return one optimal alignment (couplings of matched positions)."""
@@ -124,13 +134,18 @@ class WeightedLevenshtein(Distance):
         return matrix
 
     def compute(self, first: np.ndarray, second: np.ndarray) -> float:
+        return self.compute_bounded(first, second, None)
+
+    def compute_bounded(
+        self, first: np.ndarray, second: np.ndarray, cutoff: Optional[float]
+    ) -> float:
+        """Early-abandoning weighted edit distance (costs are non-negative)."""
         if first.shape[1] != 1:
             raise DistanceError("weighted Levenshtein expects scalar symbol codes")
         substitution = self._substitution_matrix(first, second)
         deletion = np.full(first.shape[0], self.deletion_cost, dtype=np.float64)
         insertion = np.full(second.shape[0], self.insertion_cost, dtype=np.float64)
-        table = edit_table(substitution, deletion, insertion)
-        return float(table[-1, -1])
+        return edit_distance_value(substitution, deletion, insertion, cutoff=cutoff)
 
     def __repr__(self) -> str:
         return (

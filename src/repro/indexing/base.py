@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, List, Optional, Tuple
 
 from repro.distances.base import Distance, SequenceLike
+from repro.distances.cache import DistanceCache
 from repro.exceptions import DistanceError, IndexError_
 from repro.indexing.stats import CountingDistance, DistanceCounter
 
@@ -62,6 +63,13 @@ class MetricIndex(abc.ABC):
         Indexes that rely on the triangle inequality refuse non-metric
         distances (e.g. DTW) unless this check is explicitly disabled by a
         subclass that does not need metricity (the linear scan).
+    cache:
+        Optional shared :class:`~repro.distances.cache.DistanceCache`;
+        when given, query-time distance requests for already-measured pairs
+        are answered from the cache and counted as cache hits instead of
+        fresh computations.  The matcher shares one cache between its index
+        and its verification step so Type III's growing-radius re-queries
+        never pay for a pair twice.
     """
 
     #: Human-readable index name used in reports and benchmarks.
@@ -72,13 +80,14 @@ class MetricIndex(abc.ABC):
         distance: Distance,
         counter: Optional[DistanceCounter] = None,
         require_metric: bool = True,
+        cache: Optional[DistanceCache] = None,
     ) -> None:
         if require_metric and not distance.is_metric:
             raise DistanceError(
                 f"{type(self).__name__} relies on the triangle inequality but "
                 f"{distance.name!r} is not a metric; use LinearScanIndex instead"
             )
-        self._counting = CountingDistance(distance, counter)
+        self._counting = CountingDistance(distance, counter, cache)
         self._items: dict = {}
 
     # ------------------------------------------------------------------ #
@@ -94,9 +103,24 @@ class MetricIndex(abc.ABC):
         """The distance-evaluation counter for this index."""
         return self._counting.counter
 
+    @property
+    def cache(self) -> Optional[DistanceCache]:
+        """The distance cache shared with this index, if any."""
+        return self._counting.cache
+
     def _d(self, first: SequenceLike, second: SequenceLike) -> float:
-        """Compute (and count) the distance between two payloads."""
+        """Compute (and count) the exact distance between two payloads."""
         return self._counting(first, second)
+
+    def _d_bounded(self, first: SequenceLike, second: SequenceLike, cutoff: float) -> float:
+        """Compute (and count) a distance that may early-abandon past ``cutoff``.
+
+        Only usable where the caller needs nothing more than "within
+        ``cutoff`` or not" plus the exact value when within -- i.e. the
+        final membership test of a range query, never the triangle-
+        inequality routing of tree indexes (those need exact values).
+        """
+        return self._counting.bounded(first, second, cutoff)
 
     def __len__(self) -> int:
         return len(self._items)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.distances.base import Distance, SequenceLike
+from repro.distances.cache import DistanceCache
 from repro.exceptions import IndexError_, InvariantViolationError
 from repro.indexing.base import MetricIndex, RangeMatch
 from repro.indexing.stats import DistanceCounter
@@ -62,8 +63,9 @@ class CoverTree(MetricIndex):
         distance: Distance,
         eps_prime: float = 1.0,
         counter: Optional[DistanceCounter] = None,
+        cache: Optional[DistanceCache] = None,
     ) -> None:
-        super().__init__(distance, counter, require_metric=True)
+        super().__init__(distance, counter, require_metric=True, cache=cache)
         if eps_prime <= 0:
             raise IndexError_(f"eps_prime must be positive, got {eps_prime}")
         self.eps_prime = float(eps_prime)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Hashable, List, Optional
 
 from repro.distances.base import Distance, SequenceLike
+from repro.distances.cache import DistanceCache
 from repro.exceptions import IndexError_
 from repro.indexing.base import MetricIndex, RangeMatch
 from repro.indexing.stats import DistanceCounter
@@ -21,13 +22,22 @@ class LinearScanIndex(MetricIndex):
     """Exhaustive scan over all stored items.
 
     Works with *any* distance, metric or not, which makes it the only index
-    in this library usable with DTW, EDR, or LCSS.
+    in this library usable with DTW, EDR, or LCSS.  Range queries use the
+    early-abandoning :meth:`~repro.distances.base.Distance.bounded` path:
+    the scan only needs each item's exact distance when it is within the
+    radius, so the DP kernels may give up as soon as the radius is provably
+    unreachable.
     """
 
     index_name = "linear-scan"
 
-    def __init__(self, distance: Distance, counter: Optional[DistanceCounter] = None) -> None:
-        super().__init__(distance, counter, require_metric=False)
+    def __init__(
+        self,
+        distance: Distance,
+        counter: Optional[DistanceCounter] = None,
+        cache: Optional[DistanceCache] = None,
+    ) -> None:
+        super().__init__(distance, counter, require_metric=False, cache=cache)
 
     def add(self, item: object, key: Optional[Hashable] = None) -> Hashable:
         if key is None:
@@ -48,7 +58,7 @@ class LinearScanIndex(MetricIndex):
             raise IndexError_(f"radius must be non-negative, got {radius}")
         matches: List[RangeMatch] = []
         for key, item in self._items.items():
-            value = self._d(query, item)
+            value = self._d_bounded(query, item, radius)
             if value <= radius:
                 matches.append(RangeMatch(key, item, value))
         return matches

@@ -35,6 +35,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence as TypingS
 import numpy as np
 
 from repro.distances.base import Distance, SequenceLike
+from repro.distances.cache import DistanceCache
 from repro.exceptions import IndexError_
 from repro.indexing.base import MetricIndex, RangeMatch
 from repro.indexing.stats import DistanceCounter
@@ -179,8 +180,9 @@ class ReferenceIndex(MetricIndex):
         counter: Optional[DistanceCounter] = None,
         selection_sample_size: int = 200,
         rng: Optional[np.random.Generator] = None,
+        cache: Optional[DistanceCache] = None,
     ) -> None:
-        super().__init__(distance, counter, require_metric=True)
+        super().__init__(distance, counter, require_metric=True, cache=cache)
         if num_references < 1:
             raise IndexError_(f"num_references must be >= 1, got {num_references}")
         self.num_references = int(num_references)

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.distances.base import Distance, SequenceLike
+from repro.distances.cache import DistanceCache
 from repro.exceptions import IndexError_, InvariantViolationError
 from repro.indexing.base import MetricIndex, RangeMatch
 from repro.indexing.stats import DistanceCounter
@@ -130,8 +131,9 @@ class ReferenceNet(MetricIndex):
         counter: Optional[DistanceCounter] = None,
         node_overhead_bytes: int = 112,
         link_overhead_bytes: int = 24,
+        cache: Optional[DistanceCache] = None,
     ) -> None:
-        super().__init__(distance, counter, require_metric=True)
+        super().__init__(distance, counter, require_metric=True, cache=cache)
         if eps_prime <= 0:
             raise IndexError_(f"eps_prime must be positive, got {eps_prime}")
         if nummax is not None and nummax < 1:

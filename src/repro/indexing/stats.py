@@ -6,6 +6,12 @@ Wall-clock time would mix algorithmic behaviour with implementation details,
 whereas distance counts are hardware-independent -- exactly what a
 reproduction should compare.  Every index in :mod:`repro.indexing` therefore
 routes its distance calls through a :class:`DistanceCounter`.
+
+Since the introduction of the :class:`~repro.distances.cache.DistanceCache`,
+a "distance call" can be answered without computing anything; those hits are
+tracked separately (:attr:`DistanceCounter.cache_hits`) so the reported
+computation counts keep meaning *fresh* kernel executions, the quantity the
+paper's pruning-ratio figures are defined over.
 """
 
 from __future__ import annotations
@@ -13,39 +19,62 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.distances.base import Distance, SequenceLike
+from repro.distances.cache import DistanceCache
 
 
 class DistanceCounter:
-    """A counter of distance evaluations with checkpoint support."""
+    """A counter of distance evaluations with checkpoint support.
+
+    Fresh kernel executions (:attr:`total`) and cache hits
+    (:attr:`cache_hits`) are counted separately; checkpoints snapshot both.
+    """
 
     def __init__(self) -> None:
         self._total = 0
         self._checkpoint = 0
+        self._cache_hits = 0
+        self._cache_hits_checkpoint = 0
 
     @property
     def total(self) -> int:
-        """Distance evaluations since construction (or the last reset)."""
+        """Fresh distance evaluations since construction (or the last reset)."""
         return self._total
+
+    @property
+    def cache_hits(self) -> int:
+        """Distance requests answered by the cache instead of a computation."""
+        return self._cache_hits
 
     def increment(self, amount: int = 1) -> None:
         """Record ``amount`` additional distance evaluations."""
         self._total += amount
 
+    def record_cache_hit(self, amount: int = 1) -> None:
+        """Record ``amount`` distance requests served from the cache."""
+        self._cache_hits += amount
+
     def reset(self) -> None:
         """Zero the counter."""
         self._total = 0
         self._checkpoint = 0
+        self._cache_hits = 0
+        self._cache_hits_checkpoint = 0
 
     def checkpoint(self) -> None:
-        """Remember the current total; see :meth:`since_checkpoint`."""
+        """Remember the current totals; see :meth:`since_checkpoint`."""
         self._checkpoint = self._total
+        self._cache_hits_checkpoint = self._cache_hits
 
     def since_checkpoint(self) -> int:
-        """Evaluations since the last :meth:`checkpoint` call."""
+        """Fresh evaluations since the last :meth:`checkpoint` call."""
         return self._total - self._checkpoint
 
+    def cache_hits_since_checkpoint(self) -> int:
+        """Cache hits since the last :meth:`checkpoint` call."""
+        return self._cache_hits - self._cache_hits_checkpoint
+
     def __repr__(self) -> str:
-        return f"DistanceCounter(total={self._total})"
+        return f"DistanceCounter(total={self._total}, cache_hits={self._cache_hits})"
 
 
 class CountingDistance:
@@ -54,11 +83,22 @@ class CountingDistance:
     The wrapper is intentionally *not* a :class:`Distance` subclass: indexes
     call it like a function and occasionally need the underlying measure's
     metadata, which stays reachable through :attr:`inner`.
+
+    When a :class:`~repro.distances.cache.DistanceCache` is attached, pairs
+    of :class:`~repro.sequences.sequence.Sequence` payloads are looked up
+    before computing; hits are recorded on the counter's separate cache-hit
+    tally and fresh results are stored back into the cache.
     """
 
-    def __init__(self, inner: Distance, counter: Optional[DistanceCounter] = None) -> None:
+    def __init__(
+        self,
+        inner: Distance,
+        counter: Optional[DistanceCounter] = None,
+        cache: Optional[DistanceCache] = None,
+    ) -> None:
         self.inner = inner
         self.counter = counter if counter is not None else DistanceCounter()
+        self.cache = cache
 
     @property
     def name(self) -> str:
@@ -71,8 +111,35 @@ class CountingDistance:
         return self.inner.is_metric
 
     def __call__(self, first: SequenceLike, second: SequenceLike) -> float:
+        if self.cache is not None and DistanceCache.cacheable(first, second):
+            cached = self.cache.lookup(first, second)
+            if cached is not None:
+                self.counter.record_cache_hit()
+                return cached
+            value = self.inner(first, second)
+            self.counter.increment()
+            self.cache.store(first, second, value)
+            return value
         self.counter.increment()
         return self.inner(first, second)
+
+    def bounded(self, first: SequenceLike, second: SequenceLike, cutoff: float) -> float:
+        """Early-abandoning variant; see :meth:`Distance.bounded`.
+
+        Cache entries recorded here may be lower bounds rather than exact
+        values (when the kernel abandoned); the cache keeps the distinction.
+        """
+        if self.cache is not None and DistanceCache.cacheable(first, second):
+            cached = self.cache.lookup(first, second, cutoff=cutoff)
+            if cached is not None:
+                self.counter.record_cache_hit()
+                return cached
+            value = self.inner.bounded(first, second, cutoff)
+            self.counter.increment()
+            self.cache.store(first, second, value, cutoff=cutoff)
+            return value
+        self.counter.increment()
+        return self.inner.bounded(first, second, cutoff)
 
     def __repr__(self) -> str:
         return f"CountingDistance({self.inner!r}, total={self.counter.total})"

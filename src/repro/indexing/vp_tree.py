@@ -18,6 +18,7 @@ from typing import Hashable, List, Optional, Tuple
 import numpy as np
 
 from repro.distances.base import Distance, SequenceLike
+from repro.distances.cache import DistanceCache
 from repro.exceptions import IndexError_
 from repro.indexing.base import MetricIndex, RangeMatch
 from repro.indexing.stats import DistanceCounter
@@ -57,8 +58,9 @@ class VPTree(MetricIndex):
         distance: Distance,
         counter: Optional[DistanceCounter] = None,
         rng: Optional[np.random.Generator] = None,
+        cache: Optional[DistanceCache] = None,
     ) -> None:
-        super().__init__(distance, counter, require_metric=True)
+        super().__init__(distance, counter, require_metric=True, cache=cache)
         self._rng = rng or np.random.default_rng(0)
         self._root: Optional[_VPNode] = None
         self._dirty = True

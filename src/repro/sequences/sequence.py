@@ -57,7 +57,7 @@ class Sequence:
     database sequence is cheap.
     """
 
-    __slots__ = ("_values", "_kind", "_seq_id", "_alphabet")
+    __slots__ = ("_values", "_kind", "_seq_id", "_alphabet", "_hash")
 
     def __init__(
         self,
@@ -91,6 +91,7 @@ class Sequence:
         self._kind = kind
         self._seq_id = seq_id
         self._alphabet = alphabet
+        self._hash: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -169,7 +170,11 @@ class Sequence:
         )
 
     def __hash__(self) -> int:
-        return hash((self._kind, self._values.tobytes()))
+        # Memoized: sequences are immutable and the distance cache hashes
+        # the same window/segment objects over and over.
+        if self._hash is None:
+            self._hash = hash((self._kind, self._values.tobytes()))
+        return self._hash
 
     def __repr__(self) -> str:
         ident = f", seq_id={self._seq_id!r}" if self._seq_id else ""

@@ -1,6 +1,5 @@
 """Tests for the discrete Fréchet distance."""
 
-import numpy as np
 import pytest
 
 from repro import DiscreteFrechet, Sequence

@@ -5,7 +5,6 @@ these properties are tested with hypothesis-generated sequences rather than
 a handful of fixed examples.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -79,7 +78,8 @@ class TestTriangleInequality:
         data=st.data(),
     )
     def test_lockstep_triangle(self, n, data):
-        make = lambda: data.draw(st.lists(floats, min_size=n, max_size=n))
+        def make():
+            return data.draw(st.lists(floats, min_size=n, max_size=n))
         first, second, third = make(), make(), make()
         assert Euclidean()(first, third) <= Euclidean()(first, second) + Euclidean()(second, third) + 1e-7
         assert Hamming()(first, third) <= Hamming()(first, second) + Hamming()(second, third)
