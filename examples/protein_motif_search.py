@@ -13,15 +13,28 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import Levenshtein, MatcherConfig, NearestSubsequenceQuery, SubsequenceMatcher
 from repro.datasets import generate_protein_database, generate_protein_query
+
+#: CI's smoke job shrinks the generated dataset via REPRO_EXAMPLE_SCALE.
+_SCALE = max(0.05, float(os.environ.get("REPRO_EXAMPLE_SCALE", "1")))
+
+
+def _scaled(value: int, minimum: int) -> int:
+    return max(minimum, int(value * _SCALE))
 
 
 def main() -> None:
     # About 1000 windows of length 20 -- the paper's PROTEINS setting scaled
     # down so this example runs in seconds.
     database = generate_protein_database(
-        num_sequences=40, sequence_length=300, num_domains=15, mutation_rate=0.08, seed=7
+        num_sequences=_scaled(40, 10),
+        sequence_length=_scaled(300, 120),
+        num_domains=15,
+        mutation_rate=0.08,
+        seed=7,
     )
     print(f"database: {database}")
 

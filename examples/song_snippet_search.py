@@ -14,14 +14,25 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import DiscreteFrechet, MatcherConfig, RangeQuery, SubsequenceMatcher
 from repro.datasets import generate_song_database, generate_song_query
 from repro.analysis import distance_distribution
 from repro.analysis.reporting import format_histogram
 
+#: CI's smoke job shrinks the generated catalogue via REPRO_EXAMPLE_SCALE.
+_SCALE = max(0.05, float(os.environ.get("REPRO_EXAMPLE_SCALE", "1")))
+
+
+def _scaled(value: int, minimum: int) -> int:
+    return max(minimum, int(value * _SCALE))
+
 
 def main() -> None:
-    database = generate_song_database(num_sequences=25, sequence_length=240, seed=5)
+    database = generate_song_database(
+        num_sequences=_scaled(25, 8), sequence_length=_scaled(240, 120), seed=5
+    )
     print(f"catalogue: {database}")
 
     query, source_id, offset = generate_song_query(database, length=60, noise=0.2, seed=9)

@@ -13,6 +13,8 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro import (
     DiscreteFrechet,
     ERP,
@@ -21,10 +23,21 @@ from repro import (
 )
 from repro.datasets import generate_trajectory_database, generate_trajectory_query
 
+#: CI's smoke job shrinks the generated tracks via REPRO_EXAMPLE_SCALE.
+_SCALE = max(0.05, float(os.environ.get("REPRO_EXAMPLE_SCALE", "1")))
+
+
+def _scaled(value: int, minimum: int) -> int:
+    return max(minimum, int(value * _SCALE))
+
 
 def main() -> None:
     database = generate_trajectory_database(
-        num_sequences=30, sequence_length=200, num_routes=5, jitter=0.8, seed=3
+        num_sequences=_scaled(30, 8),
+        sequence_length=_scaled(200, 100),
+        num_routes=5,
+        jitter=0.8,
+        seed=3,
     )
     print(f"database: {database}")
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against a recorded baseline.
+
+Used by the CI benchmark job to fail when any benchmark's median wall-clock
+regresses more than a threshold (default 25%) against the committed baseline
+(``BENCH_0.json`` at the repo root).  Benchmarks missing from either side
+are reported but never fail the check (new benchmarks have no baseline, and
+removed ones have no current run); very fast benchmarks can be excluded
+with ``--min-seconds`` because their medians are jitter-dominated.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline BENCH_0.json --current benchmark-results.json \
+        --threshold 0.25 --min-seconds 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """Map benchmark name -> median seconds from a pytest-benchmark JSON."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {
+        bench["name"]: float(bench["stats"]["median"]) for bench in payload["benchmarks"]
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="recorded baseline JSON")
+    parser.add_argument("--current", required=True, help="fresh benchmark run JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum allowed relative regression of a median (0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.5,
+        help="ignore benchmarks whose baseline median is below this (jitter)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+
+    regressions = []
+    improvements = 0
+    compared = 0
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"note: {name} missing from current run (skipped)")
+            continue
+        base = baseline[name]
+        if base < args.min_seconds:
+            continue
+        compared += 1
+        now = current[name]
+        ratio = now / base if base > 0 else float("inf")
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, base, now, ratio))
+        elif ratio < 1.0:
+            improvements += 1
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note: {name} has no baseline (skipped)")
+
+    print(
+        f"compared {compared} benchmarks against {args.baseline}: "
+        f"{improvements} faster, {len(regressions)} regressed beyond "
+        f"+{args.threshold:.0%}"
+    )
+    for name, base, now, ratio in regressions:
+        print(f"REGRESSION: {name}: median {base:.3f}s -> {now:.3f}s ({ratio:.2f}x)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,7 @@ from repro.sequences import (
 from repro.distances import (
     Distance,
     DistanceCache,
+    shared_cache,
     ElementMetric,
     Euclidean,
     Hamming,
@@ -93,6 +94,7 @@ from repro.core import (
     SegmentMatch,
     SubsequenceMatch,
     SubsequenceMatcher,
+    QueryPipeline,
     partition_database,
     extract_query_segments,
     chain_segment_matches,
@@ -131,6 +133,7 @@ __all__ = [
     # distances
     "Distance",
     "DistanceCache",
+    "shared_cache",
     "ElementMetric",
     "Euclidean",
     "Hamming",
@@ -165,6 +168,7 @@ __all__ = [
     "SegmentMatch",
     "SubsequenceMatch",
     "SubsequenceMatcher",
+    "QueryPipeline",
     "partition_database",
     "extract_query_segments",
     "chain_segment_matches",

@@ -9,7 +9,7 @@ over a set of ranges, which is exactly what the figure benchmarks print.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence as TypingSequence
 
 from repro.exceptions import ConfigurationError
@@ -28,6 +28,12 @@ class PruningResult:
     matches: float
     #: Distance computations a linear scan would need (= number of items).
     naive_computations: int
+    #: Average distance requests answered by an attached cache per query.
+    cache_hits: float = 0.0
+    #: Average lower-bound prefilter evaluations per query (probe stage).
+    prefilter_evaluations: float = 0.0
+    #: Average prefilter evaluations that skipped a kernel per query.
+    prefilter_pruned: float = 0.0
 
     @property
     def fraction_of_naive(self) -> float:
@@ -47,17 +53,24 @@ def measure_pruning(
     queries: TypingSequence[object],
     radius: float,
 ) -> PruningResult:
-    """Average query cost of ``index`` over ``queries`` at one radius."""
+    """Average query cost of ``index`` over ``queries`` at one radius.
+
+    Queries go through :meth:`~repro.indexing.base.MetricIndex.batch_range_query`
+    (identical results to one-at-a-time queries, batched execution where the
+    index supports it); the per-stage accounting -- cache hits and
+    lower-bound prefilter work -- is read off the index counter alongside
+    the fresh computation count the paper's figures report.
+    """
     if not queries:
         raise ConfigurationError("need at least one query to measure pruning")
     counter = index.counter
-    total_computations = 0
-    total_matches = 0
-    for query in queries:
-        counter.checkpoint()
-        matches = index.range_query(query, radius)
-        total_computations += counter.since_checkpoint()
-        total_matches += len(matches)
+    counter.checkpoint()
+    per_query = index.batch_range_query(queries, radius)
+    total_computations = counter.since_checkpoint()
+    total_cache_hits = counter.cache_hits_since_checkpoint()
+    total_prefilter = counter.prefilter_since_checkpoint()
+    total_pruned = counter.prefilter_pruned_since_checkpoint()
+    total_matches = sum(len(matches) for matches in per_query)
     count = len(queries)
     return PruningResult(
         index_name=index.index_name,
@@ -65,6 +78,9 @@ def measure_pruning(
         distance_computations=total_computations / count,
         matches=total_matches / count,
         naive_computations=len(index),
+        cache_hits=total_cache_hits / count,
+        prefilter_evaluations=total_prefilter / count,
+        prefilter_pruned=total_pruned / count,
     )
 
 
@@ -83,13 +99,5 @@ def compare_indexes(
     for radius in radii:
         for label, index in indexes.items():
             result = measure_pruning(index, queries, radius)
-            results.append(
-                PruningResult(
-                    index_name=label,
-                    radius=result.radius,
-                    distance_computations=result.distance_computations,
-                    matches=result.matches,
-                    naive_computations=result.naive_computations,
-                )
-            )
+            results.append(replace(result, index_name=label))
     return results

@@ -7,9 +7,12 @@ plotting dependency.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence as TypingSequence
+from typing import TYPE_CHECKING, List, Optional, Sequence as TypingSequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.queries import QueryStats
 
 
 def format_table(
@@ -41,6 +44,40 @@ def format_table(
     for row in rendered_rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_query_stats(stats: "QueryStats", title: Optional[str] = None) -> str:
+    """Render a :class:`~repro.core.queries.QueryStats` as a two-column table.
+
+    This is what ``repro search --stats`` prints: the paper's step-4
+    quantities (fresh computations vs naive, pruning ratio alpha), the
+    cache and prefilter accounting, and the pipeline's per-stage timings.
+    Queries that ran several step-3/4/5 passes (Type III) add a per-pass
+    summary line.
+    """
+    rows: List[List[object]] = [
+        ["segments extracted (step 3)", stats.segments_extracted],
+        ["segment matches (step 4)", stats.segment_matches],
+        ["candidate chains (step 5)", stats.candidate_chains],
+        ["index distance computations", stats.index_distance_computations],
+        ["naive step-4 computations", stats.naive_distance_computations],
+        ["pruning ratio alpha", f"{stats.pruning_ratio:.2%}"],
+        ["verification computations", stats.verification_distance_computations],
+        ["cache hits (index + verify)", stats.total_cache_hits],
+        ["prefilter evaluations", stats.prefilter_evaluations],
+        [
+            "prefilter pruned",
+            f"{stats.prefilter_pruned} ({stats.prefilter_prune_ratio:.2%})",
+        ],
+    ]
+    for stage in ("segment", "probe", "chain", "verify"):
+        if stage in stats.stage_timings:
+            rows.append([f"stage time: {stage}", f"{stats.stage_timings[stage] * 1000:.2f} ms"])
+    if stats.passes:
+        rows.append(["passes (radius sweep)", len(stats.passes)])
+        per_pass = ", ".join(str(p.segment_matches) for p in stats.passes)
+        rows.append(["segment matches per pass", per_pass])
+    return format_table(["quantity", "value"], rows, title=title)
 
 
 def format_histogram(

@@ -23,7 +23,7 @@ from typing import List, Optional
 
 from repro.analysis.distributions import distance_distribution
 from repro.analysis.pruning import compare_indexes
-from repro.analysis.reporting import format_histogram, format_table
+from repro.analysis.reporting import format_histogram, format_query_stats, format_table
 from repro.core.config import MatcherConfig
 from repro.core.matcher import SubsequenceMatcher
 from repro.datasets.loaders import dataset_distance, dataset_windows, load_dataset
@@ -32,6 +32,7 @@ from repro.datasets.songs import generate_song_query
 from repro.datasets.trajectories import generate_trajectory_query
 from repro.exceptions import ReproError
 from repro.indexing.cover_tree import CoverTree
+from repro.indexing.linear_scan import LinearScanIndex
 from repro.indexing.reference_based import ReferenceIndex
 from repro.indexing.reference_net import ReferenceNet
 from repro.storage.persistence import load_database, save_database
@@ -58,6 +59,12 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--min-length", type=int, default=40)
     search.add_argument("--max-shift", type=int, default=2)
     search.add_argument("--seed", type=int, default=1)
+    search.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the QueryStats table (pruning ratio, cache hits, "
+        "prefilter counts, per-stage timings)",
+    )
 
     distribution = subparsers.add_parser(
         "distribution", help="pairwise window distance distribution (Figure 4)"
@@ -117,6 +124,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
             f"(naive: {stats.naive_distance_computations}, "
             f"pruning ratio {stats.pruning_ratio:.2%})"
         )
+    if args.stats:
+        print()
+        print(format_query_stats(matcher.last_query_stats, title="query statistics"))
     return 0
 
 
@@ -151,6 +161,9 @@ def _cmd_compare_indexes(args: argparse.Namespace) -> int:
         "RN": ReferenceNet(distance),
         "CT": CoverTree(distance),
         "MV-5": ReferenceIndex(distance, num_references=5),
+        # Linear scan with lower-bound prefilters: the baseline every figure
+        # normalises against, now with the cheap-bounds-before-kernels stage.
+        "LS+LB": LinearScanIndex(distance, prefilter=True),
     }
     for index in indexes.values():
         for window in windows:
@@ -158,12 +171,16 @@ def _cmd_compare_indexes(args: argparse.Namespace) -> int:
     results = compare_indexes(indexes, queries, radii)
     rows = [
         [result.index_name, result.radius, result.distance_computations,
-         100.0 * result.fraction_of_naive, result.matches]
+         100.0 * result.fraction_of_naive, result.prefilter_evaluations,
+         result.prefilter_pruned, result.cache_hits, result.matches]
         for result in results
     ]
     print(
         format_table(
-            ["index", "radius", "distance computations", "% of naive", "matches"],
+            [
+                "index", "radius", "distance computations", "% of naive",
+                "prefilter evals", "prefilter pruned", "cache hits", "matches",
+            ],
             rows,
             title=f"{args.dataset} / {distance_name}: query cost vs naive scan",
         )

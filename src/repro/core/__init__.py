@@ -29,6 +29,7 @@ from repro.core.queries import (
 )
 from repro.core.segmentation import partition_database, extract_query_segments
 from repro.core.candidates import CandidateChain, chain_segment_matches
+from repro.core.pipeline import ProbeResult, QueryPipeline
 from repro.core.matcher import SubsequenceMatcher
 from repro.core.bruteforce import brute_force_matches, brute_force_longest, brute_force_nearest
 
@@ -44,6 +45,8 @@ __all__ = [
     "extract_query_segments",
     "CandidateChain",
     "chain_segment_matches",
+    "ProbeResult",
+    "QueryPipeline",
     "SubsequenceMatcher",
     "brute_force_matches",
     "brute_force_longest",

@@ -39,6 +39,12 @@ class MatcherConfig:
         Step between consecutive query segment start positions (1 = every
         position, exactly as in the paper; larger values trade recall for
         speed and are used by some ablation benchmarks).
+    prefilter:
+        Whether the matcher's step-4 distance evaluations may run the
+        registered lower bounds of :mod:`repro.distances.lower_bounds` in
+        front of the DP kernels.  Only effective with the ``"linear-scan"``
+        index (the tree indexes need exact values for their routing);
+        admissible bounds never change results, so this is on by default.
     cache_max_entries:
         Capacity of the matcher's distance cache.  Any single query (and
         in particular Type III's whole radius sweep) needs at most
@@ -56,6 +62,7 @@ class MatcherConfig:
     index: str = "reference-net"
     num_references: int = 5
     query_segment_step: int = 1
+    prefilter: bool = True
     cache_max_entries: Optional[int] = 262_144
 
     _KNOWN_INDEXES = (

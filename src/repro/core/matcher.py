@@ -14,14 +14,20 @@ Typical use::
     best = matcher.longest_similar(query, radius=1.5)          # Type II
     nearest = matcher.nearest_subsequence(query, max_radius=10)  # Type III
     all_pairs = matcher.range_search(query, radius=1.5)          # Type I
+
+The online steps (3-5) are executed by the staged
+:class:`~repro.core.pipeline.QueryPipeline`; the matcher owns the offline
+steps (1-2), the Type III radius-sweep orchestration, and the multi-query
+:meth:`batch_query` entry point.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
-from repro.core.candidates import CandidateChain, chain_segment_matches
+from repro.core.candidates import chain_segment_matches
 from repro.core.config import MatcherConfig
+from repro.core.pipeline import QueryPipeline
 from repro.core.queries import (
     LongestSubsequenceQuery,
     NearestSubsequenceQuery,
@@ -30,8 +36,7 @@ from repro.core.queries import (
     SegmentMatch,
     SubsequenceMatch,
 )
-from repro.core.segmentation import extract_query_segments, partition_database
-from repro.core.verification import _VerificationCounter, enumerate_matches, verify_chain
+from repro.core.segmentation import partition_database
 from repro.distances.base import Distance
 from repro.distances.cache import DistanceCache
 from repro.exceptions import ConfigurationError, QueryError
@@ -44,6 +49,9 @@ from repro.indexing.vp_tree import VPTree
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.sequence import Sequence
 from repro.sequences.windows import Window
+
+#: A query specification accepted by :meth:`SubsequenceMatcher.batch_query`.
+QuerySpec = Union[RangeQuery, LongestSubsequenceQuery, NearestSubsequenceQuery, float]
 
 
 class SubsequenceMatcher:
@@ -62,13 +70,24 @@ class SubsequenceMatcher:
         unless the configured index is the linear scan.
     config:
         The framework parameters (lambda, lambda0, index choice, ...).
+    cache:
+        Optional externally-owned :class:`~repro.distances.cache.DistanceCache`
+        -- typically :func:`repro.distances.cache.shared_cache` -- letting
+        several matchers over the *same distance* share measured pairs.  A
+        shared cache is never cleared by :meth:`refresh` (other matchers may
+        still rely on its entries); when omitted, the matcher owns a private
+        cache sized by ``config.cache_max_entries``.
 
     Attributes
     ----------
     last_query_stats:
         :class:`~repro.core.queries.QueryStats` for the most recent query,
         including index and verification distance counts -- the quantities
-        the paper's evaluation reports.
+        the paper's evaluation reports -- plus the pipeline's per-stage
+        timings and prefilter accounting.
+    last_batch_stats:
+        One :class:`~repro.core.queries.QueryStats` per query of the most
+        recent :meth:`batch_query` call.
     distance_cache:
         The :class:`~repro.distances.cache.DistanceCache` shared between
         the index and the verification step.  Every (segment, window) and
@@ -77,6 +96,8 @@ class SubsequenceMatcher:
         re-queries and repeated chain verifications are answered from the
         cache, which is what keeps the index's *fresh* computation count
         below the naive scan's even across the whole radius sweep.
+    pipeline:
+        The :class:`~repro.core.pipeline.QueryPipeline` executing steps 3-5.
     """
 
     def __init__(
@@ -84,6 +105,7 @@ class SubsequenceMatcher:
         database: SequenceDatabase,
         distance: Distance,
         config: MatcherConfig,
+        cache: Optional[DistanceCache] = None,
     ) -> None:
         if not distance.is_consistent:
             raise ConfigurationError(
@@ -99,10 +121,17 @@ class SubsequenceMatcher:
         self.distance = distance
         self.config = config
         self.last_query_stats = QueryStats()
-        self.distance_cache = DistanceCache(max_entries=config.cache_max_entries)
+        self.last_batch_stats: List[QueryStats] = []
+        self._owns_cache = cache is None
+        self.distance_cache = (
+            cache
+            if cache is not None
+            else DistanceCache(max_entries=config.cache_max_entries)
+        )
         self._windows: List[Window] = []
         self._windows_by_key: Dict[tuple, Window] = {}
         self._index: Optional[MetricIndex] = None
+        self._pipeline: Optional[QueryPipeline] = None
         self.refresh()
 
     # ------------------------------------------------------------------ #
@@ -110,7 +139,8 @@ class SubsequenceMatcher:
     # ------------------------------------------------------------------ #
     def refresh(self) -> None:
         """(Re)run the offline steps: window partitioning and index build."""
-        self.distance_cache.clear()
+        if self._owns_cache:
+            self.distance_cache.clear()
         self._windows = partition_database(self.database, self.config)
         self._windows_by_key = {window.key: window for window in self._windows}
         self._index = self._build_index()
@@ -118,6 +148,15 @@ class SubsequenceMatcher:
             self._index.add(window.sequence, key=window.key)
         if isinstance(self._index, (ReferenceIndex, VPTree)):
             self._index.build()
+        self._pipeline = QueryPipeline(
+            database=self.database,
+            distance=self.distance,
+            config=self.config,
+            index=self._index,
+            windows_by_key=self._windows_by_key,
+            window_count=len(self._windows),
+            cache=self.distance_cache,
+        )
 
     def _build_index(self) -> MetricIndex:
         name = self.config.index
@@ -138,7 +177,9 @@ class SubsequenceMatcher:
         if name == "vp-tree":
             return VPTree(self.distance, cache=cache)
         if name == "linear-scan":
-            return LinearScanIndex(self.distance, cache=cache)
+            return LinearScanIndex(
+                self.distance, cache=cache, prefilter=self.config.prefilter
+            )
         raise ConfigurationError(f"unknown index {name!r}")  # pragma: no cover
 
     @property
@@ -146,6 +187,12 @@ class SubsequenceMatcher:
         """The metric index holding the database windows."""
         assert self._index is not None
         return self._index
+
+    @property
+    def pipeline(self) -> QueryPipeline:
+        """The staged query-execution pipeline running steps 3-5."""
+        assert self._pipeline is not None
+        return self._pipeline
 
     @property
     def windows(self) -> List[Window]:
@@ -159,80 +206,12 @@ class SubsequenceMatcher:
         """Run steps 3-4 and return the (segment, window) pairs.
 
         Also resets and fills :attr:`last_query_stats` with the step-3/4
-        accounting; callers that go on to verification (the query methods
-        below) keep extending the same stats object.
+        accounting (including the pipeline's stage timings and prefilter
+        counts).
         """
-        stats = QueryStats()
-        segments = extract_query_segments(query, self.config)
-        stats.segments_extracted = len(segments)
-        stats.naive_distance_computations = len(segments) * len(self._windows)
-
-        counter = self.index.counter
-        counter.checkpoint()
-        matches: List[SegmentMatch] = []
-        for segment in segments:
-            for hit in self.index.range_query(segment.sequence, radius):
-                window = self._windows_by_key[hit.key]
-                matches.append(
-                    SegmentMatch(
-                        query_start=segment.start,
-                        query_length=segment.length,
-                        window=window,
-                        distance=hit.distance,
-                    )
-                )
-        stats.index_distance_computations = counter.since_checkpoint()
-        stats.index_cache_hits = counter.cache_hits_since_checkpoint()
-        stats.segment_matches = len(matches)
-        self.last_query_stats = stats
-        return matches
-
-    def _verify_with_fallback(
-        self,
-        chain: CandidateChain,
-        query: Sequence,
-        radius: float,
-        counter: _VerificationCounter,
-    ) -> Optional[SubsequenceMatch]:
-        """Verify ``chain``; on failure, retry its halves recursively.
-
-        Maximal chains can over-reach: a long, partly mis-stitched chain may
-        span regions whose overall distance exceeds the radius even though a
-        sub-chain supports a perfectly good match.  Splitting a failed chain
-        in half and retrying costs at most a logarithmic factor in extra
-        verifications and guarantees that every single-window match is still
-        considered.
-        """
-        db_sequence = self.database[chain.source_id]
-        verified = verify_chain(
-            chain,
-            query,
-            db_sequence,
-            self.distance,
-            radius,
-            self.config,
-            counter,
-            cache=self.distance_cache,
-        )
-        if verified is not None or chain.window_count == 1:
-            return verified
-        middle = chain.window_count // 2
-        halves = (
-            CandidateChain(chain.source_id, chain.matches[:middle]),
-            CandidateChain(chain.source_id, chain.matches[middle:]),
-        )
-        best: Optional[SubsequenceMatch] = None
-        for half in halves:
-            candidate = self._verify_with_fallback(half, query, radius, counter)
-            if candidate is None:
-                continue
-            if (
-                best is None
-                or candidate.length > best.length
-                or (candidate.length == best.length and candidate.distance < best.distance)
-            ):
-                best = candidate
-        return best
+        probe = self.pipeline.probe(query, radius)
+        self.last_query_stats = probe.stats
+        return probe.matches
 
     # ------------------------------------------------------------------ #
     # Step 5: the three query types
@@ -250,48 +229,8 @@ class SubsequenceMatcher:
         """
         if not isinstance(spec, RangeQuery):
             spec = RangeQuery(radius=float(spec))
-        matches = self.segment_matches(query, spec.radius)
-        chains = chain_segment_matches(matches, self.config)
-        self.last_query_stats.candidate_chains = len(chains)
-
-        counter = _VerificationCounter()
-        results: List[SubsequenceMatch] = []
-        seen = set()
-        for chain in chains:
-            db_sequence = self.database[chain.source_id]
-            if spec.exhaustive:
-                found = enumerate_matches(
-                    chain,
-                    query,
-                    db_sequence,
-                    self.distance,
-                    spec.radius,
-                    self.config,
-                    counter,
-                    max_results=spec.max_results,
-                    cache=self.distance_cache,
-                )
-            else:
-                verified = self._verify_with_fallback(chain, query, spec.radius, counter)
-                found = [verified] if verified is not None else []
-            for match in found:
-                identity = (
-                    match.source_id,
-                    match.query_start,
-                    match.query_stop,
-                    match.db_start,
-                    match.db_stop,
-                )
-                if identity in seen:
-                    continue
-                seen.add(identity)
-                results.append(match)
-                if spec.max_results is not None and len(results) >= spec.max_results:
-                    self.last_query_stats.verification_distance_computations = counter.count
-                    self.last_query_stats.verification_cache_hits = counter.cache_hits
-                    return results
-        self.last_query_stats.verification_distance_computations = counter.count
-        self.last_query_stats.verification_cache_hits = counter.cache_hits
+        results, stats = self.pipeline.run_range(query, spec)
+        self.last_query_stats = stats
         return results
 
     def longest_similar(
@@ -306,27 +245,8 @@ class SubsequenceMatcher:
         """
         if not isinstance(spec, LongestSubsequenceQuery):
             spec = LongestSubsequenceQuery(radius=float(spec))
-        matches = self.segment_matches(query, spec.radius)
-        chains = chain_segment_matches(matches, self.config)
-        self.last_query_stats.candidate_chains = len(chains)
-
-        counter = _VerificationCounter()
-        best: Optional[SubsequenceMatch] = None
-        for chain in chains:
-            potential = (chain.window_count + 2) * self.config.window_length
-            if best is not None and potential <= best.length:
-                break
-            verified = self._verify_with_fallback(chain, query, spec.radius, counter)
-            if verified is None:
-                continue
-            if (
-                best is None
-                or verified.length > best.length
-                or (verified.length == best.length and verified.distance < best.distance)
-            ):
-                best = verified
-        self.last_query_stats.verification_distance_computations = counter.count
-        self.last_query_stats.verification_cache_hits = counter.cache_hits
+        best, stats = self.pipeline.run_longest(query, spec)
+        self.last_query_stats = stats
         return best
 
     def nearest_subsequence(
@@ -337,34 +257,40 @@ class SubsequenceMatcher:
         Implemented as the paper describes: binary-search the smallest
         radius at which step 4 produces at least one segment match, attempt
         verification there, and enlarge the radius by ``radius_increment``
-        until a pair verifies.
+        until a pair verifies.  :attr:`last_query_stats` aggregates the
+        whole sweep (work counters summed, shape counters from the final
+        pass) and keeps the per-pass history in
+        :attr:`~repro.core.queries.QueryStats.passes`.
         """
         if not isinstance(spec, NearestSubsequenceQuery):
             spec = NearestSubsequenceQuery(max_radius=float(spec))
         if not self._windows:
             return None
 
+        pipeline = self.pipeline
+        passes: List[QueryStats] = []
+
         # Binary search for the minimal radius producing segment matches.
-        # Its step-3/4 work is part of answering the query, so it is folded
-        # into the aggregate stats; thanks to the distance cache the probes
-        # after the first one mostly re-use already-measured pairs.
-        aggregate_stats = QueryStats()
+        # Its step-3/4 work is part of answering the query, so every pass is
+        # recorded; thanks to the distance cache the probes after the first
+        # one mostly re-use already-measured pairs.
         low, high = 0.0, spec.max_radius
-        found = self.segment_matches(query, high)
-        aggregate_stats = self._merge_stats(aggregate_stats, self.last_query_stats)
-        if not found:
-            self.last_query_stats = aggregate_stats
+        probe = pipeline.probe(query, high)
+        passes.append(probe.stats)
+        if not probe.matches:
+            self.last_query_stats = QueryStats.merged(passes)
             raise QueryError(
                 f"no segment matches even at max_radius={spec.max_radius}; "
                 "increase max_radius"
             )
         while high - low > spec.tolerance:
             mid = (low + high) / 2.0
-            if self.segment_matches(query, mid):
+            probe = pipeline.probe(query, mid)
+            passes.append(probe.stats)
+            if probe.matches:
                 high = mid
             else:
                 low = mid
-            aggregate_stats = self._merge_stats(aggregate_stats, self.last_query_stats)
 
         increment = spec.radius_increment
         if increment is None:
@@ -372,54 +298,58 @@ class SubsequenceMatcher:
 
         radius = high
         while radius <= spec.max_radius + 1e-12:
-            best = self._nearest_at_radius(query, radius)
-            aggregate_stats = self._merge_stats(aggregate_stats, self.last_query_stats)
+            best, stats = pipeline.run_nearest_pass(query, radius)
+            passes.append(stats)
             if best is not None:
-                self.last_query_stats = aggregate_stats
+                self.last_query_stats = QueryStats.merged(passes)
                 return best
             radius += increment
-        self.last_query_stats = aggregate_stats
+        self.last_query_stats = QueryStats.merged(passes)
         return None
 
-    def _nearest_at_radius(self, query: Sequence, radius: float) -> Optional[SubsequenceMatch]:
-        """Best verified match at a fixed radius (minimum distance wins)."""
-        matches = self.segment_matches(query, radius)
-        chains = chain_segment_matches(matches, self.config)
-        self.last_query_stats.candidate_chains = len(chains)
-        counter = _VerificationCounter()
-        best: Optional[SubsequenceMatch] = None
-        for chain in chains:
-            verified = self._verify_with_fallback(chain, query, radius, counter)
-            if verified is None:
-                continue
-            if best is None or verified.distance < best.distance:
-                best = verified
-        self.last_query_stats.verification_distance_computations = counter.count
-        self.last_query_stats.verification_cache_hits = counter.cache_hits
-        return best
+    # ------------------------------------------------------------------ #
+    # Multi-query entry point
+    # ------------------------------------------------------------------ #
+    def batch_query(
+        self, queries: List[Sequence], spec: QuerySpec
+    ) -> List[Union[List[SubsequenceMatch], Optional[SubsequenceMatch]]]:
+        """Answer many queries of the same type through one matcher.
 
-    @staticmethod
-    def _merge_stats(total: QueryStats, step: QueryStats) -> QueryStats:
-        """Accumulate the work of repeated step-3/4/5 passes (Type III)."""
-        return QueryStats(
-            segments_extracted=max(total.segments_extracted, step.segments_extracted),
-            index_distance_computations=(
-                total.index_distance_computations + step.index_distance_computations
-            ),
-            verification_distance_computations=(
-                total.verification_distance_computations
-                + step.verification_distance_computations
-            ),
-            segment_matches=max(total.segment_matches, step.segment_matches),
-            candidate_chains=max(total.candidate_chains, step.candidate_chains),
-            naive_distance_computations=max(
-                total.naive_distance_computations, step.naive_distance_computations
-            ),
-            index_cache_hits=total.index_cache_hits + step.index_cache_hits,
-            verification_cache_hits=(
-                total.verification_cache_hits + step.verification_cache_hits
-            ),
-        )
+        ``spec`` selects the query type exactly as in the single-query
+        methods (a bare float is a Type I radius).  All queries share the
+        matcher's :attr:`distance_cache`, so segment-window pairs measured
+        for one query are free for the next -- the multi-query analogue of
+        what the cache already does for Type III's radius sweep.  Per-query
+        statistics are collected in :attr:`last_batch_stats`
+        (:attr:`last_query_stats` keeps the final query's stats).
+
+        Returns one result per query, of the type the corresponding
+        single-query method returns.  A query that raises
+        :class:`~repro.exceptions.QueryError` (a Type III query with no
+        segment match at ``max_radius``) contributes ``None`` instead of
+        aborting the batch; its accounting still lands in
+        :attr:`last_batch_stats`.
+        """
+        if isinstance(spec, (int, float)):
+            spec = RangeQuery(radius=float(spec))
+        if isinstance(spec, RangeQuery):
+            run = self.range_search
+        elif isinstance(spec, LongestSubsequenceQuery):
+            run = self.longest_similar
+        elif isinstance(spec, NearestSubsequenceQuery):
+            run = self.nearest_subsequence
+        else:
+            raise QueryError(f"unsupported query spec: {spec!r}")
+        results = []
+        batch_stats: List[QueryStats] = []
+        for query in queries:
+            try:
+                results.append(run(query, spec))
+            except QueryError:
+                results.append(None)
+            batch_stats.append(self.last_query_stats)
+        self.last_batch_stats = batch_stats
+        return results
 
     # ------------------------------------------------------------------ #
     # Figure-12 style reporting

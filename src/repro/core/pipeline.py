@@ -1,0 +1,323 @@
+"""The staged query-execution pipeline behind every matcher query.
+
+The paper's framework is a pipeline by construction -- window partitioning,
+segment extraction, index range search, chaining, verification -- but until
+this module existed the online half (steps 3-5) was re-orchestrated inside
+each of the matcher's query methods as a per-segment Python loop.
+:class:`QueryPipeline` makes the pipeline explicit: every query type is
+decomposed into the same named stages
+
+``segment``
+    extract the query segments (step 3), memoized per query object so a
+    Type III radius sweep extracts them once;
+``prefilter``
+    cheap lower bounds in front of the DP kernels (see
+    :mod:`repro.distances.lower_bounds`) -- executed inside the batched
+    probe's kernel dispatch and accounted through the
+    :class:`~repro.indexing.stats.DistanceCounter` prefilter tallies;
+``probe``
+    one :meth:`~repro.indexing.base.MetricIndex.batch_range_query` call
+    covering every segment (step 4), so indexes with batched execution run
+    one grouped kernel sweep per segment instead of one kernel per pair;
+``chain``
+    concatenate consecutive window matches into candidate chains (step 5a);
+``verify``
+    turn chains into verified subsequence matches (step 5b), with one
+    strategy per query type.
+
+Each stage records wall-clock time into
+:attr:`~repro.core.queries.QueryStats.stage_timings` and the counter-based
+accounting (fresh computations, cache hits, prefilter evaluations) lands in
+the same :class:`~repro.core.queries.QueryStats`, which is what the CLI's
+``repro search --stats`` table and the analysis helpers report.
+
+New workloads plug in as verification strategies over the shared front half
+(:meth:`QueryPipeline.probe`), instead of duplicating the step-3/4
+orchestration again.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.candidates import CandidateChain, chain_segment_matches
+from repro.core.config import MatcherConfig
+from repro.core.queries import (
+    LongestSubsequenceQuery,
+    QueryStats,
+    RangeQuery,
+    SegmentMatch,
+    SubsequenceMatch,
+)
+from repro.core.segmentation import extract_query_segments
+from repro.core.verification import _VerificationCounter, enumerate_matches, verify_chain
+from repro.distances.base import Distance
+from repro.distances.cache import DistanceCache
+from repro.indexing.base import MetricIndex
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence
+from repro.sequences.windows import Window
+
+
+@dataclass
+class ProbeResult:
+    """Output of the pipeline's front half (segment -> prefilter -> probe)."""
+
+    #: The (segment, window) pairs produced by the batched index probe.
+    matches: List[SegmentMatch]
+    #: Step-3/4 accounting (segments, computations, prefilter, timings).
+    stats: QueryStats
+
+
+class QueryPipeline:
+    """Executes the framework's online steps as explicit, accounted stages.
+
+    The pipeline is stateless between queries apart from a one-slot segment
+    memo: the most recent query object's extracted segments are kept so that
+    repeated passes over the same query (Type III's binary search and radius
+    sweep) skip re-extraction.  All distance-level sharing goes through the
+    matcher's :class:`~repro.distances.cache.DistanceCache`, which the
+    pipeline only observes through the index counter.
+    """
+
+    def __init__(
+        self,
+        database: SequenceDatabase,
+        distance: Distance,
+        config: MatcherConfig,
+        index: MetricIndex,
+        windows_by_key: dict,
+        window_count: int,
+        cache: Optional[DistanceCache] = None,
+    ) -> None:
+        self.database = database
+        self.distance = distance
+        self.config = config
+        self.index = index
+        self._windows_by_key = windows_by_key
+        self._window_count = window_count
+        self.cache = cache
+        self._segment_memo: Optional[Tuple[Sequence, List[Window]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Stage: segment (step 3)
+    # ------------------------------------------------------------------ #
+    def segments_for(self, query: Sequence) -> List[Window]:
+        """Extract (or recall) the query segments of every admissible length."""
+        memo = self._segment_memo
+        if memo is not None and memo[0] is query:
+            return memo[1]
+        segments = extract_query_segments(query, self.config)
+        self._segment_memo = (query, segments)
+        return segments
+
+    # ------------------------------------------------------------------ #
+    # Stages: segment -> prefilter -> probe (steps 3-4)
+    # ------------------------------------------------------------------ #
+    def probe(self, query: Sequence, radius: float) -> ProbeResult:
+        """Run the pipeline's front half and return matches plus accounting."""
+        stats = QueryStats()
+        started = time.perf_counter()
+        segments = self.segments_for(query)
+        stats.stage_timings["segment"] = time.perf_counter() - started
+        stats.segments_extracted = len(segments)
+        stats.naive_distance_computations = len(segments) * self._window_count
+
+        counter = self.index.counter
+        counter.checkpoint()
+        started = time.perf_counter()
+        per_segment = self.index.batch_range_query(
+            [segment.sequence for segment in segments], radius
+        )
+        matches: List[SegmentMatch] = []
+        for segment, hits in zip(segments, per_segment):
+            for hit in hits:
+                window = self._windows_by_key[hit.key]
+                matches.append(
+                    SegmentMatch(
+                        query_start=segment.start,
+                        query_length=segment.length,
+                        window=window,
+                        distance=hit.distance,
+                    )
+                )
+        stats.stage_timings["probe"] = time.perf_counter() - started
+        stats.index_distance_computations = counter.since_checkpoint()
+        stats.index_cache_hits = counter.cache_hits_since_checkpoint()
+        stats.prefilter_evaluations = counter.prefilter_since_checkpoint()
+        stats.prefilter_pruned = counter.prefilter_pruned_since_checkpoint()
+        stats.segment_matches = len(matches)
+        return ProbeResult(matches, stats)
+
+    # ------------------------------------------------------------------ #
+    # Stage: chain (step 5a)
+    # ------------------------------------------------------------------ #
+    def chain(self, matches: List[SegmentMatch], stats: QueryStats) -> List[CandidateChain]:
+        """Concatenate consecutive window matches into candidate chains."""
+        started = time.perf_counter()
+        chains = chain_segment_matches(matches, self.config)
+        stats.stage_timings["chain"] = time.perf_counter() - started
+        stats.candidate_chains = len(chains)
+        return chains
+
+    # ------------------------------------------------------------------ #
+    # Stage: verify (step 5b) -- shared machinery
+    # ------------------------------------------------------------------ #
+    def verify_with_fallback(
+        self,
+        chain: CandidateChain,
+        query: Sequence,
+        radius: float,
+        counter: _VerificationCounter,
+    ) -> Optional[SubsequenceMatch]:
+        """Verify ``chain``; on failure, retry its halves recursively.
+
+        Maximal chains can over-reach: a long, partly mis-stitched chain may
+        span regions whose overall distance exceeds the radius even though a
+        sub-chain supports a perfectly good match.  Splitting a failed chain
+        in half and retrying costs at most a logarithmic factor in extra
+        verifications and guarantees that every single-window match is still
+        considered.
+        """
+        db_sequence = self.database[chain.source_id]
+        verified = verify_chain(
+            chain,
+            query,
+            db_sequence,
+            self.distance,
+            radius,
+            self.config,
+            counter,
+            cache=self.cache,
+        )
+        if verified is not None or chain.window_count == 1:
+            return verified
+        middle = chain.window_count // 2
+        halves = (
+            CandidateChain(chain.source_id, chain.matches[:middle]),
+            CandidateChain(chain.source_id, chain.matches[middle:]),
+        )
+        best: Optional[SubsequenceMatch] = None
+        for half in halves:
+            candidate = self.verify_with_fallback(half, query, radius, counter)
+            if candidate is None:
+                continue
+            if (
+                best is None
+                or candidate.length > best.length
+                or (candidate.length == best.length and candidate.distance < best.distance)
+            ):
+                best = candidate
+        return best
+
+    @staticmethod
+    def _finish_verify(
+        stats: QueryStats, counter: _VerificationCounter, started: float
+    ) -> None:
+        """Fold the verification counter and timing into ``stats``."""
+        stats.stage_timings["verify"] = time.perf_counter() - started
+        stats.verification_distance_computations = counter.count
+        stats.verification_cache_hits = counter.cache_hits
+
+    # ------------------------------------------------------------------ #
+    # Query strategies: one full pipeline run per query type
+    # ------------------------------------------------------------------ #
+    def run_range(
+        self, query: Sequence, spec: RangeQuery
+    ) -> Tuple[List[SubsequenceMatch], QueryStats]:
+        """Type I: every (deduplicated) verified pair within the radius."""
+        probe = self.probe(query, spec.radius)
+        stats = probe.stats
+        chains = self.chain(probe.matches, stats)
+
+        counter = _VerificationCounter()
+        started = time.perf_counter()
+        results: List[SubsequenceMatch] = []
+        seen = set()
+        for chain in chains:
+            if spec.exhaustive:
+                found = enumerate_matches(
+                    chain,
+                    query,
+                    self.database[chain.source_id],
+                    self.distance,
+                    spec.radius,
+                    self.config,
+                    counter,
+                    max_results=spec.max_results,
+                    cache=self.cache,
+                )
+            else:
+                verified = self.verify_with_fallback(chain, query, spec.radius, counter)
+                found = [verified] if verified is not None else []
+            for match in found:
+                identity = (
+                    match.source_id,
+                    match.query_start,
+                    match.query_stop,
+                    match.db_start,
+                    match.db_stop,
+                )
+                if identity in seen:
+                    continue
+                seen.add(identity)
+                results.append(match)
+                if spec.max_results is not None and len(results) >= spec.max_results:
+                    self._finish_verify(stats, counter, started)
+                    return results, stats
+        self._finish_verify(stats, counter, started)
+        return results, stats
+
+    def run_longest(
+        self, query: Sequence, spec: LongestSubsequenceQuery
+    ) -> Tuple[Optional[SubsequenceMatch], QueryStats]:
+        """Type II: longest verified pair, chains examined longest first.
+
+        A chain of ``k`` concatenated windows can support a match of length
+        up to ``(k + 2) * lambda / 2``, so once a chain verifies, shorter
+        chains that cannot possibly beat the verified length are skipped.
+        """
+        probe = self.probe(query, spec.radius)
+        stats = probe.stats
+        chains = self.chain(probe.matches, stats)
+
+        counter = _VerificationCounter()
+        started = time.perf_counter()
+        best: Optional[SubsequenceMatch] = None
+        for chain in chains:
+            potential = (chain.window_count + 2) * self.config.window_length
+            if best is not None and potential <= best.length:
+                break
+            verified = self.verify_with_fallback(chain, query, spec.radius, counter)
+            if verified is None:
+                continue
+            if (
+                best is None
+                or verified.length > best.length
+                or (verified.length == best.length and verified.distance < best.distance)
+            ):
+                best = verified
+        self._finish_verify(stats, counter, started)
+        return best, stats
+
+    def run_nearest_pass(
+        self, query: Sequence, radius: float
+    ) -> Tuple[Optional[SubsequenceMatch], QueryStats]:
+        """One fixed-radius pass of Type III: best verified match by distance."""
+        probe = self.probe(query, radius)
+        stats = probe.stats
+        chains = self.chain(probe.matches, stats)
+
+        counter = _VerificationCounter()
+        started = time.perf_counter()
+        best: Optional[SubsequenceMatch] = None
+        for chain in chains:
+            verified = self.verify_with_fallback(chain, query, radius, counter)
+            if verified is None:
+                continue
+            if best is None or verified.distance < best.distance:
+                best = verified
+        self._finish_verify(stats, counter, started)
+        return best, stats

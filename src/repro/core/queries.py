@@ -13,7 +13,7 @@ that answers them lives in :mod:`repro.core.matcher`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, List, Optional, Sequence as TypingSequence
 
 from repro.exceptions import QueryError
 from repro.sequences.windows import Window
@@ -170,6 +170,25 @@ class QueryStats:
         What a linear scan would have spent in step 4 (segments x windows);
         the ratio against ``index_distance_computations`` is the paper's
         pruning ratio ``alpha``.
+    prefilter_evaluations:
+        Lower-bound evaluations performed in front of the step-4 kernels
+        (see :mod:`repro.distances.lower_bounds`); 0 unless the backing
+        index prefilters (the matcher's linear scan does by default).
+    prefilter_pruned:
+        Prefilter evaluations that proved the pair outside the radius, i.e.
+        kernel executions skipped for the cost of an O(n) bound.
+    stage_timings:
+        Wall-clock seconds per pipeline stage (``segment``, ``probe``,
+        ``chain``, ``verify``), as measured by the query-execution pipeline.
+        Prefilter time is part of ``probe`` (the bounds run inside the
+        batched kernel dispatch); its effect is visible through the
+        prefilter counters instead.
+    passes:
+        Per-pass history for queries that repeat steps 3-5 (Type III's
+        radius sweep): one :class:`QueryStats` per pass, in execution
+        order.  For such queries the flat counters above follow
+        :meth:`merged`'s convention -- work counters are summed over the
+        passes while the shape counters describe the final pass.
     """
 
     segments_extracted: int = 0
@@ -180,6 +199,10 @@ class QueryStats:
     naive_distance_computations: int = 0
     index_cache_hits: int = 0
     verification_cache_hits: int = 0
+    prefilter_evaluations: int = 0
+    prefilter_pruned: int = 0
+    stage_timings: Dict[str, float] = field(default_factory=dict)
+    passes: List["QueryStats"] = field(default_factory=list)
 
     @property
     def total_distance_computations(self) -> int:
@@ -198,3 +221,45 @@ class QueryStats:
             return 0.0
         saved = self.naive_distance_computations - self.index_distance_computations
         return max(0.0, saved / self.naive_distance_computations)
+
+    @property
+    def prefilter_prune_ratio(self) -> float:
+        """Fraction of prefilter evaluations that skipped a kernel."""
+        if self.prefilter_evaluations == 0:
+            return 0.0
+        return self.prefilter_pruned / self.prefilter_evaluations
+
+    @classmethod
+    def merged(cls, passes: TypingSequence["QueryStats"]) -> "QueryStats":
+        """Aggregate the stats of repeated step-3/4/5 passes (Type III).
+
+        Work counters (distance computations, cache hits, prefilter
+        evaluations, stage timings) are summed across the passes -- that is
+        what answering the query actually cost -- while the shape counters
+        (``segments_extracted``, ``segment_matches``, ``candidate_chains``,
+        ``naive_distance_computations``) report the *final* pass, the one
+        that produced the answer.  The full per-pass history is kept in
+        :attr:`passes`.
+        """
+        if not passes:
+            return cls()
+        final = passes[-1]
+        total = cls(
+            segments_extracted=final.segments_extracted,
+            segment_matches=final.segment_matches,
+            candidate_chains=final.candidate_chains,
+            naive_distance_computations=final.naive_distance_computations,
+            index_distance_computations=sum(p.index_distance_computations for p in passes),
+            verification_distance_computations=sum(
+                p.verification_distance_computations for p in passes
+            ),
+            index_cache_hits=sum(p.index_cache_hits for p in passes),
+            verification_cache_hits=sum(p.verification_cache_hits for p in passes),
+            prefilter_evaluations=sum(p.prefilter_evaluations for p in passes),
+            prefilter_pruned=sum(p.prefilter_pruned for p in passes),
+        )
+        for stats in passes:
+            for stage, seconds in stats.stage_timings.items():
+                total.stage_timings[stage] = total.stage_timings.get(stage, 0.0) + seconds
+        total.passes = list(passes)
+        return total

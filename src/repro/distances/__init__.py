@@ -19,7 +19,7 @@ as extensions.
 """
 
 from repro.distances.base import Distance, ElementMetric
-from repro.distances.cache import DistanceCache
+from repro.distances.cache import DistanceCache, shared_cache
 from repro.distances.euclidean import Euclidean
 from repro.distances.hamming import Hamming
 from repro.distances.levenshtein import Levenshtein, WeightedLevenshtein
@@ -30,10 +30,25 @@ from repro.distances.edr import EDR
 from repro.distances.lcss import LCSS
 from repro.distances.consistency import check_consistency, ConsistencyReport
 from repro.distances.registry import get_distance, register_distance, available_distances
+from repro.distances.lower_bounds import (
+    LowerBound,
+    bounds_for,
+    combined_bound,
+    combined_batch_bound,
+    register_lower_bound,
+    registered_lower_bounds,
+)
 
 __all__ = [
     "Distance",
     "DistanceCache",
+    "shared_cache",
+    "LowerBound",
+    "bounds_for",
+    "combined_bound",
+    "combined_batch_bound",
+    "register_lower_bound",
+    "registered_lower_bounds",
     "ElementMetric",
     "Euclidean",
     "Hamming",

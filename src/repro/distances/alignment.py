@@ -339,6 +339,127 @@ def _warp_max_value(cost: np.ndarray, band: Optional[int], cutoff: Optional[floa
     return float(diag_prev[n])
 
 
+def _validate_cost_tensor(cost: np.ndarray) -> None:
+    if cost.ndim != 3 or cost.shape[0] == 0 or cost.shape[1] == 0 or cost.shape[2] == 0:
+        raise DistanceError("batched cost tensor must be a non-empty 3-D array")
+
+
+def batch_warping_distance(
+    cost: np.ndarray,
+    aggregate: str = "sum",
+    band: Optional[int] = None,
+    cutoff: Optional[float] = None,
+) -> np.ndarray:
+    """:func:`warping_distance` for a batch of same-shape pairs.
+
+    ``cost`` has shape ``(k, n, m)``: one element cost matrix per pair, all
+    sharing the same table dimensions (the caller groups operands by shape).
+    The row sweep runs over ``(k, m)`` matrices, so one pass of NumPy
+    primitives advances every pair in the batch at once.  With a ``cutoff``,
+    pairs whose table front exceeds it are marked abandoned (their result is
+    ``inf``); the sweep stops early only when *every* pair has abandoned,
+    matching the per-pair semantics of :func:`warping_distance` -- a returned
+    value is exact whenever it is at most ``cutoff``.
+    """
+    _validate_cost_tensor(cost)
+    if aggregate not in ("sum", "max"):
+        raise DistanceError(f"aggregate must be 'sum' or 'max', got {aggregate!r}")
+    cost = np.asarray(cost, dtype=np.float64)
+    if aggregate == "sum":
+        return _batch_warp_sum(cost, band, cutoff)
+    return _batch_warp_max(cost, band, cutoff)
+
+
+def _batch_warp_sum(
+    cost: np.ndarray, band: Optional[int], cutoff: Optional[float]
+) -> np.ndarray:
+    """Batched :func:`_warp_sum_value`: identical recurrence, extra batch axis."""
+    k, n, m = cost.shape
+    prefix = np.cumsum(cost, axis=2)
+    shifted_prefix = np.empty_like(prefix)
+    shifted_prefix[:, :, 0] = 0.0
+    shifted_prefix[:, :, 1:] = prefix[:, :, :-1]
+    _, j_stop = _band_limits(0, m, band)
+    row = prefix[:, 0, :].copy()
+    if j_stop < m:
+        row[:, j_stop:] = _INF
+    abandoned = np.zeros(k, dtype=bool)
+    if cutoff is not None:
+        abandoned |= row[:, 0] > cutoff
+        if abandoned.all():
+            return np.full(k, _INF)
+    buf = np.empty((k, m))
+    for i in range(1, n):
+        j_start, j_stop = _band_limits(i, m, band)
+        np.minimum(row[:, 1:], row[:, :-1], out=buf[:, 1:])
+        buf[:, 0] = row[:, 0]
+        if j_start > 0:
+            buf[:, :j_start] = _INF
+        if j_stop < m:
+            buf[:, j_stop:] = _INF
+        np.subtract(buf, shifted_prefix[:, i, :], out=buf)
+        np.minimum.accumulate(buf, axis=1, out=buf)
+        np.add(buf, prefix[:, i, :], out=buf)
+        if j_stop < m:
+            buf[:, j_stop:] = _INF
+        row, buf = buf, row
+        if cutoff is not None:
+            abandoned |= np.min(row, axis=1) > cutoff
+            if abandoned.all():
+                return np.full(k, _INF)
+    values = row[:, -1].copy()
+    values[abandoned] = _INF
+    return values
+
+
+def _batch_warp_max(
+    cost: np.ndarray, band: Optional[int], cutoff: Optional[float]
+) -> np.ndarray:
+    """Batched bottleneck recurrence via the :func:`_max_row` doubling scan.
+
+    The early-abandon test is per row (every monotone path visits every row
+    and bottleneck values never decrease along a path), which may abandon a
+    pair the anti-diagonal kernel would carry further; either way the
+    returned value is exact whenever it is at most ``cutoff``.
+    """
+    k, n, m = cost.shape
+    row: Optional[np.ndarray] = None
+    abandoned = np.zeros(k, dtype=bool)
+    for i in range(n):
+        j_start, j_stop = _band_limits(i, m, band)
+        step = np.full((k, m), _INF)
+        step[:, j_start:j_stop] = cost[:, i, j_start:j_stop]
+        if row is None:
+            entry = np.full((k, m), _INF)
+            if j_start == 0:
+                entry[:, 0] = cost[:, 0, 0]
+        else:
+            base = np.empty((k, m))
+            base[:, 0] = row[:, 0]
+            np.minimum(row[:, 1:], row[:, :-1], out=base[:, 1:])
+            entry = np.maximum(base, step)
+        new_row = entry
+        run_max = step
+        shift = 1
+        while shift < m:
+            shifted_row = np.full((k, m), _INF)
+            shifted_row[:, shift:] = new_row[:, :-shift]
+            new_row = np.minimum(new_row, np.maximum(shifted_row, run_max))
+            shifted_max = np.full((k, m), -_INF)
+            shifted_max[:, shift:] = run_max[:, :-shift]
+            run_max = np.maximum(run_max, shifted_max)
+            shift *= 2
+        row = new_row
+        if cutoff is not None:
+            abandoned |= np.min(row, axis=1) > cutoff
+            if abandoned.all():
+                return np.full(k, _INF)
+    assert row is not None
+    values = row[:, -1].copy()
+    values[abandoned] = _INF
+    return values
+
+
 def warping_traceback(table: np.ndarray, cost: np.ndarray, aggregate: str = "sum") -> Alignment:
     """Recover the optimal warping alignment from a filled table."""
     n, m = table.shape
@@ -516,6 +637,54 @@ def _edit_value_small(
         if cutoff is not None and row_min > cutoff:
             return _INF
     return row[-1]
+
+
+def batch_edit_distance_value(
+    substitution: np.ndarray,
+    deletion: np.ndarray,
+    insertion: np.ndarray,
+    cutoff: Optional[float] = None,
+) -> np.ndarray:
+    """:func:`edit_distance_value` for a batch of same-shape pairs.
+
+    ``substitution`` has shape ``(k, n, m)``; ``deletion`` is the length-``n``
+    gap-cost vector of the (shared) first operand and ``insertion`` the
+    ``(k, m)`` gap costs of the second operands.  The reduced-coordinate
+    recurrence of :func:`edit_distance_value` runs unchanged over an extra
+    batch axis; abandoned pairs (row minimum beyond ``cutoff``) yield ``inf``
+    and the sweep stops early once every pair has abandoned.
+    """
+    _validate_cost_tensor(substitution)
+    substitution = np.asarray(substitution, dtype=np.float64)
+    k, n, m = substitution.shape
+    deletion = np.asarray(deletion, dtype=np.float64)
+    insertion = np.asarray(insertion, dtype=np.float64)
+    if deletion.shape != (n,) or insertion.shape != (k, m):
+        raise DistanceError("batched gap cost arrays do not match the substitution tensor")
+    insertion_prefix = np.zeros((k, m + 1))
+    np.cumsum(insertion, axis=1, out=insertion_prefix[:, 1:])
+    reduced_substitution = substitution - insertion[:, None, :]
+    deletion_costs = deletion.tolist()
+    reduced = np.zeros((k, m + 1))
+    buf = np.empty((k, m + 1))
+    scratch = np.empty((k, m + 1))
+    abandoned = np.zeros(k, dtype=bool)
+    for i in range(n):
+        delete_cost = deletion_costs[i]
+        np.add(reduced[:, :-1], reduced_substitution[:, i, :], out=buf[:, 1:])
+        np.add(reduced[:, 1:], delete_cost, out=scratch[:, 1:])
+        np.minimum(buf[:, 1:], scratch[:, 1:], out=buf[:, 1:])
+        buf[:, 0] = reduced[:, 0] + delete_cost
+        np.minimum.accumulate(buf, axis=1, out=buf)
+        reduced, buf = buf, reduced
+        if cutoff is not None:
+            np.add(reduced, insertion_prefix, out=scratch)
+            abandoned |= np.min(scratch, axis=1) > cutoff
+            if abandoned.all():
+                return np.full(k, _INF)
+    values = reduced[:, -1] + insertion_prefix[:, -1]
+    values[abandoned] = _INF
+    return values
 
 
 def edit_traceback(

@@ -102,6 +102,33 @@ class ElementMetric:
             return np.sum(np.abs(diff), axis=2)
         return (np.any(diff != 0.0, axis=2)).astype(np.float64)
 
+    def matrix_batch(self, first: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Cost tensor ``T[k, i, j] = d(first[i], items[k, j])``.
+
+        ``first`` is one ``(n, dim)`` operand shared by the whole batch and
+        ``items`` a ``(k, m, dim)`` stack of second operands; the result backs
+        the batched elastic-distance kernels.
+        """
+        diff = first[None, :, None, :] - items[:, None, :, :]
+        if self.kind == "euclidean":
+            return np.sqrt(np.sum(diff * diff, axis=3))
+        if self.kind == "manhattan":
+            return np.sum(np.abs(diff), axis=3)
+        return (np.any(diff != 0.0, axis=3)).astype(np.float64)
+
+    def to_origin_batch(
+        self, items: np.ndarray, origin: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """:meth:`to_origin` over a ``(k, m, dim)`` stack; returns ``(k, m)``."""
+        if origin is None:
+            origin = np.zeros(items.shape[2], dtype=np.float64)
+        diff = items - origin.reshape(1, 1, -1)
+        if self.kind == "euclidean":
+            return np.sqrt(np.sum(diff * diff, axis=2))
+        if self.kind == "manhattan":
+            return np.sum(np.abs(diff), axis=2)
+        return (np.any(diff != 0.0, axis=2)).astype(np.float64)
+
     def single(self, first: np.ndarray, second: np.ndarray) -> float:
         """Ground distance between two single elements (1-D arrays)."""
         diff = np.asarray(first, dtype=np.float64) - np.asarray(second, dtype=np.float64)
@@ -125,6 +152,41 @@ class ElementMetric:
         if self.kind == "manhattan":
             return np.sum(np.abs(diff), axis=1)
         return (np.any(diff != 0.0, axis=1)).astype(np.float64)
+
+
+def group_batch_operands(
+    distance: "Distance",
+    query: np.ndarray,
+    items: "List[SequenceLike]",
+    indexes: Optional[Iterable[int]] = None,
+) -> "tuple[dict, dict]":
+    """Validate batch operands against ``query`` and group them by shape.
+
+    Shared by :meth:`Distance.batch` and the counting/caching wrapper in
+    :mod:`repro.indexing.stats`, so the coercion rules (dimensionality check,
+    lockstep length requirement) and the shape-grouping policy live in one
+    place.  ``indexes`` restricts the work to a subset of ``items`` (the
+    wrapper skips cache hits); the default covers every item.
+
+    Returns ``(arrays, groups)``: ``arrays`` maps item index to its coerced
+    ``(m, dim)`` array, ``groups`` maps each array shape to the list of item
+    indexes with that shape.
+    """
+    if indexes is None:
+        indexes = range(len(items))
+    arrays: "dict[int, np.ndarray]" = {}
+    groups: "dict[tuple, list]" = {}
+    for index in indexes:
+        arr = as_array(items[index])
+        check_same_dim(query, arr)
+        if not distance.supports_unequal_lengths and arr.shape[0] != query.shape[0]:
+            raise IncompatibleSequencesError(
+                f"{distance.name} requires equal-length sequences, "
+                f"got {query.shape[0]} and {arr.shape[0]}"
+            )
+        arrays[index] = arr
+        groups.setdefault(arr.shape, []).append(index)
+    return arrays, groups
 
 
 class Distance(abc.ABC):
@@ -189,6 +251,51 @@ class Distance(abc.ABC):
         return self.compute(first, second)
 
     # ------------------------------------------------------------------ #
+    # Batched evaluation
+    # ------------------------------------------------------------------ #
+    def batch(
+        self,
+        query: SequenceLike,
+        items: "List[SequenceLike]",
+        cutoff: Optional[float] = None,
+    ) -> np.ndarray:
+        """Distances from ``query`` to every item, as one kernel per shape group.
+
+        Items are grouped by ``(length, dim)`` and each group is stacked into
+        one ``(k, m, dim)`` tensor handed to :meth:`compute_batch`, so the
+        vectorized kernels sweep the whole group's DP tables at once instead
+        of paying one kernel launch per pair.  With a ``cutoff`` the same
+        early-abandon contract as :meth:`bounded` applies per item: a
+        returned value is exact whenever it is at most ``cutoff``, and any
+        value beyond the cutoff (typically ``inf``) means "provably outside".
+        """
+        q = as_array(query)
+        arrays, groups = group_batch_operands(self, q, items)
+        out = np.empty(len(items), dtype=np.float64)
+        for indexes in groups.values():
+            tensor = np.stack([arrays[i] for i in indexes])
+            out[indexes] = self.compute_batch(
+                q, tensor, None if cutoff is None else float(cutoff)
+            )
+        return out
+
+    def compute_batch(
+        self, query: np.ndarray, items: np.ndarray, cutoff: Optional[float]
+    ) -> np.ndarray:
+        """Distances from ``query`` (``(n, dim)``) to ``items`` (``(k, m, dim)``).
+
+        The default loops :meth:`compute` / :meth:`compute_bounded` per item;
+        the elastic measures override it with genuinely batched kernels.
+        """
+        values = np.empty(items.shape[0], dtype=np.float64)
+        for index in range(items.shape[0]):
+            if cutoff is None:
+                values[index] = self.compute(query, items[index])
+            else:
+                values[index] = self.compute_bounded(query, items[index], cutoff)
+        return values
+
+    # ------------------------------------------------------------------ #
     # Optional capabilities
     # ------------------------------------------------------------------ #
     def lower_bound(self, first: SequenceLike, second: SequenceLike) -> float:
@@ -198,6 +305,21 @@ class Distance(abc.ABC):
         subclasses override this when a meaningful bound exists.
         """
         return 0.0
+
+    def empty_distance(self, other: SequenceLike) -> float:
+        """Distance between the empty sequence and ``other`` (default: inf).
+
+        Only the gap-based edit distances define this: they can absorb every
+        element of ``other`` as an insertion.  It matters for the
+        consistency property (Definition 1), whose existential quantifies
+        over *possibly empty* subsequences ``SQ`` -- e.g. ERP with the
+        default gap assigns distance 0 to a pair like ``([1, 1], [0, 1, 1])``
+        by deleting the gap-valued element, and the subsequence ``[0]`` of
+        the target is then matched by the empty subsequence of the query.
+        Measures without a gap concept keep the default ``inf`` (no
+        alignment with the empty sequence exists).
+        """
+        return float("inf")
 
     def pairwise(self, items: List[SequenceLike]) -> np.ndarray:
         """Symmetric pairwise distance matrix over ``items``.

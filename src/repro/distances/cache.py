@@ -137,3 +137,34 @@ class DistanceCache:
             f"DistanceCache(entries={len(self._entries)}, "
             f"hits={self._hits}, misses={self._misses})"
         )
+
+
+_SHARED_CACHES: Dict[str, DistanceCache] = {}
+
+#: Default capacity of a :func:`shared_cache`; sized for multi-matcher
+#: workloads (several matchers' worth of segment-window pairs).
+SHARED_CACHE_MAX_ENTRIES = 1_048_576
+
+
+def shared_cache(name: str = "default", max_entries: Optional[int] = None) -> DistanceCache:
+    """A process-wide named :class:`DistanceCache` for multi-matcher workloads.
+
+    Matchers built over the *same distance measure* can pass the returned
+    cache to :class:`~repro.core.matcher.SubsequenceMatcher` so that windows
+    shared between their databases (or queries probed against several
+    matchers) are measured once per process rather than once per matcher.
+
+    The cache is keyed by content only, so sharing one cache between
+    matchers with *different* distances would mix up their values -- use a
+    distinct ``name`` per distance (e.g. ``shared_cache("frechet")``).
+
+    The first call for a ``name`` creates the cache (with ``max_entries``,
+    defaulting to :data:`SHARED_CACHE_MAX_ENTRIES`); later calls return the
+    same instance and ignore ``max_entries``.
+    """
+    cache = _SHARED_CACHES.get(name)
+    if cache is None:
+        capacity = SHARED_CACHE_MAX_ENTRIES if max_entries is None else max_entries
+        cache = DistanceCache(max_entries=capacity)
+        _SHARED_CACHES[name] = cache
+    return cache

@@ -114,8 +114,14 @@ def check_consistency(
     lockstep = not distance.supports_unequal_lengths
     for start, stop in sx_bounds:
         sx = x[start:stop]
-        best = np.inf
+        # Definition 1 quantifies over *possibly empty* subsequences SQ: the
+        # gap-based edit distances can absorb all of SX into insertions (ERP
+        # with its default gap needs this when X contains gap-valued
+        # elements); measures without a gap concept report inf here.
+        best = float(distance.empty_distance(sx))
         for q_start, q_stop in sq_bounds:
+            if best <= whole:
+                break
             if lockstep and (q_stop - q_start) != (stop - start):
                 # Lockstep distances are only defined for equal lengths, so
                 # the existential in Definition 1 quantifies over same-length

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.distances.alignment import (
     Alignment,
+    batch_warping_distance,
     warping_distance,
     warping_table,
     warping_traceback,
@@ -72,6 +73,17 @@ class DTW(Distance):
         """
         cost = self.element_metric.matrix(first, second)
         return warping_distance(cost, aggregate="sum", band=self.band, cutoff=cutoff)
+
+    def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
+        """Batched DTW: one cost tensor, one row sweep for the whole group."""
+        cost = self.element_metric.matrix_batch(query, items)
+        values = batch_warping_distance(cost, aggregate="sum", band=self.band, cutoff=cutoff)
+        if cutoff is None and self.band is not None and np.isinf(values).any():
+            raise DistanceError(
+                "no warping path fits within the Sakoe-Chiba band; "
+                "widen the band or use unconstrained DTW"
+            )
+        return values
 
     def alignment(self, first, second) -> Alignment:
         """Return the optimal warping alignment (the coupling sequence C)."""

@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.distances.alignment import edit_distance_value
+from repro.distances.alignment import batch_edit_distance_value, edit_distance_value
 from repro.distances.base import Distance, ElementMetric
 from repro.exceptions import DistanceError
 
@@ -54,6 +54,20 @@ class EDR(Distance):
         deletion = np.ones(first.shape[0], dtype=np.float64)
         insertion = np.ones(second.shape[0], dtype=np.float64)
         return edit_distance_value(substitution, deletion, insertion, cutoff=cutoff)
+
+    def empty_distance(self, other) -> float:
+        """EDR against the empty sequence: one unit-cost insertion per element."""
+        from repro.distances.base import as_array
+
+        return float(as_array(other).shape[0])
+
+    def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
+        """Batched EDR: threshold the batched ground tensor, one row sweep."""
+        ground = self.element_metric.matrix_batch(query, items)
+        substitution = (ground > self.epsilon).astype(np.float64)
+        deletion = np.ones(query.shape[0], dtype=np.float64)
+        insertion = np.ones((items.shape[0], items.shape[1]), dtype=np.float64)
+        return batch_edit_distance_value(substitution, deletion, insertion, cutoff=cutoff)
 
     def __repr__(self) -> str:
         return f"EDR(epsilon={self.epsilon}, element_metric={self.element_metric!r})"

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.distances.alignment import (
     Alignment,
+    batch_edit_distance_value,
     edit_distance_value,
     edit_table,
     edit_traceback,
@@ -78,6 +79,14 @@ class ERP(Distance):
         insertion = self.element_metric.to_origin(second, gap)
         return edit_distance_value(substitution, deletion, insertion, cutoff=cutoff)
 
+    def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
+        """Batched ERP: shared query-side gap costs, per-item insertion costs."""
+        gap = self._gap_vector(query.shape[1])
+        substitution = self.element_metric.matrix_batch(query, items)
+        deletion = self.element_metric.to_origin(query, gap)
+        insertion = self.element_metric.to_origin_batch(items, gap)
+        return batch_edit_distance_value(substitution, deletion, insertion, cutoff=cutoff)
+
     def alignment(self, first, second) -> Alignment:
         """Return one optimal ERP alignment (gap operations excluded)."""
         a = as_array(first)
@@ -89,6 +98,12 @@ class ERP(Distance):
         insertion = self.element_metric.to_origin(b, gap)
         table = edit_table(substitution, deletion, insertion)
         return edit_traceback(table, substitution, deletion, insertion)
+
+    def empty_distance(self, other) -> float:
+        """ERP against the empty sequence: every element pays its gap cost."""
+        values = as_array(other)
+        gap = self._gap_vector(values.shape[1])
+        return float(np.sum(self.element_metric.to_origin(values, gap)))
 
     def lower_bound(self, first, second) -> float:
         """| sum-to-gap(first) - sum-to-gap(second) | (Chen & Ng's bound).

@@ -31,6 +31,11 @@ class Euclidean(Distance):
         diff = first - second
         return float(np.sqrt(np.sum(diff * diff)))
 
+    def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
+        """Batched L2: one subtraction and reduction for the whole group."""
+        diff = items - query[None, :, :]
+        return np.sqrt(np.sum(diff * diff, axis=(1, 2)))
+
     def lower_bound(self, first, second) -> float:
         """|  ||a|| - ||b||  | by the reverse triangle inequality."""
         from repro.distances.base import as_array

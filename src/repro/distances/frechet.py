@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.distances.alignment import (
     Alignment,
+    batch_warping_distance,
     warping_distance,
     warping_table,
     warping_traceback,
@@ -47,6 +48,11 @@ class DiscreteFrechet(Distance):
         """Early-abandoning DFD: every row's minimum lower-bounds the result."""
         cost = self.element_metric.matrix(first, second)
         return warping_distance(cost, aggregate="max", cutoff=cutoff)
+
+    def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
+        """Batched DFD: the doubling-scan row sweep over the whole group."""
+        cost = self.element_metric.matrix_batch(query, items)
+        return batch_warping_distance(cost, aggregate="max", cutoff=cutoff)
 
     def alignment(self, first, second) -> Alignment:
         """Return the optimal bottleneck alignment."""

@@ -37,5 +37,13 @@ class Hamming(Distance):
             return count / first.shape[0]
         return count
 
+    def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
+        """Batched mismatch count over the whole group."""
+        mismatches = np.any(items != query[None, :, :], axis=2)
+        counts = np.count_nonzero(mismatches, axis=1).astype(np.float64)
+        if self.normalised:
+            return counts / query.shape[0]
+        return counts
+
     def __repr__(self) -> str:
         return f"Hamming(normalised={self.normalised})"

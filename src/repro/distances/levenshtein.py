@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.distances.alignment import (
     Alignment,
+    batch_edit_distance_value,
     edit_distance_value,
     edit_table,
     edit_traceback,
@@ -54,6 +55,15 @@ class Levenshtein(Distance):
         insertion = np.ones(second.shape[0], dtype=np.float64)
         return edit_distance_value(substitution, deletion, insertion, cutoff=cutoff)
 
+    def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
+        """Batched edit distance: one mismatch tensor, one row sweep."""
+        substitution = (
+            np.any(query[None, :, None, :] != items[:, None, :, :], axis=3)
+        ).astype(np.float64)
+        deletion = np.ones(query.shape[0], dtype=np.float64)
+        insertion = np.ones((items.shape[0], items.shape[1]), dtype=np.float64)
+        return batch_edit_distance_value(substitution, deletion, insertion, cutoff=cutoff)
+
     def alignment(self, first, second) -> Alignment:
         """Return one optimal alignment (couplings of matched positions)."""
         from repro.distances.base import as_array, check_same_dim
@@ -72,6 +82,12 @@ class Levenshtein(Distance):
         from repro.distances.base import as_array
 
         return float(abs(as_array(first).shape[0] - as_array(second).shape[0]))
+
+    def empty_distance(self, other) -> float:
+        """Edit distance against the empty sequence: one insertion per element."""
+        from repro.distances.base import as_array
+
+        return float(as_array(other).shape[0])
 
 
 class WeightedLevenshtein(Distance):
@@ -146,6 +162,12 @@ class WeightedLevenshtein(Distance):
         deletion = np.full(first.shape[0], self.deletion_cost, dtype=np.float64)
         insertion = np.full(second.shape[0], self.insertion_cost, dtype=np.float64)
         return edit_distance_value(substitution, deletion, insertion, cutoff=cutoff)
+
+    def empty_distance(self, other) -> float:
+        """Weighted edit distance against the empty sequence: all insertions."""
+        from repro.distances.base import as_array
+
+        return float(as_array(other).shape[0]) * self.insertion_cost
 
     def __repr__(self) -> str:
         return (

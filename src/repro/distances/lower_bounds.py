@@ -1,0 +1,298 @@
+"""Cheap O(n) lower bounds used as prefilters in front of the DP kernels.
+
+The elastic distance kernels cost ``O(nm)`` per pair even when vectorized;
+most pairs probed by a range query are nowhere near the radius, so a cheap
+bound that proves ``d(Q, X) > eps`` without filling a DP table skips the
+kernel entirely -- the classic LB_Kim / LB_Keogh discipline of the time
+series literature, and the same skip-before-expensive-work idea the paper's
+triangle-inequality indexes apply at the index level.
+
+Every bound registered here is *admissible*: it never exceeds the exact
+distance, so pruning on ``bound > cutoff`` can never drop a true match (the
+test-suite checks this property on random pairs for every registered bound).
+The registered bounds and the distances they are valid for:
+
+============== ===================================== =========================
+bound          valid for                              idea
+============== ===================================== =========================
+``kim``        DTW (sum), discrete Fréchet (max)      both endpoint couplings
+                                                      are mandatory
+``keogh``      DTW, ERP, discrete Fréchet with a      every query element
+               Euclidean or Manhattan ground metric   couples to (or, for ERP,
+                                                      gaps instead of) some
+                                                      element inside the
+                                                      item's bounding box
+``erp-gap``    ERP                                    | sum-to-gap(Q) -
+                                                      sum-to-gap(X) |
+                                                      (Chen & Ng)
+``length``     Levenshtein, weighted Levenshtein,     >= |n - m| indels are
+               EDR                                    unavoidable
+``norm``       Euclidean                              reverse triangle
+                                                      inequality
+============== ===================================== =========================
+
+Each bound offers a scalar ``pair`` form and a vectorized ``batch`` form
+over a ``(k, m, dim)`` stack of same-shape items, which is what the batched
+linear scan uses; :func:`combined_bound` / :func:`combined_batch_bound` take
+the maximum over every applicable bound (0 when none applies, which prunes
+nothing).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+import numpy as np
+
+from repro.distances.base import Distance, ElementMetric, as_array
+from repro.distances.dtw import DTW
+from repro.distances.edr import EDR
+from repro.distances.erp import ERP
+from repro.distances.euclidean import Euclidean
+from repro.distances.frechet import DiscreteFrechet
+from repro.distances.levenshtein import Levenshtein, WeightedLevenshtein
+from repro.exceptions import DistanceError
+
+
+def _point_distances(metric: ElementMetric, points: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """Ground distance from every row of ``points`` (``(k, dim)``) to ``point``."""
+    diff = points - point.reshape(1, -1)
+    if metric.kind == "euclidean":
+        return np.sqrt(np.sum(diff * diff, axis=1))
+    if metric.kind == "manhattan":
+        return np.sum(np.abs(diff), axis=1)
+    return (np.any(diff != 0.0, axis=1)).astype(np.float64)
+
+
+def _box_deficit(metric_kind: str, query: np.ndarray, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+    """Ground distance from each query element to the box ``[low, high]``.
+
+    ``query`` is ``(n, dim)``; ``low``/``high`` broadcast against it (either
+    ``(dim,)`` for one box or ``(k, 1, dim)`` for a batch of boxes).  The
+    distance from a point to an axis-aligned box never exceeds the distance
+    to any point inside the box, for both the L2 and L1 ground metrics.
+    """
+    deficit = np.maximum(np.maximum(low - query, query - high), 0.0)
+    if metric_kind == "euclidean":
+        return np.sqrt(np.sum(deficit * deficit, axis=-1))
+    return np.sum(deficit, axis=-1)
+
+
+class LowerBound(abc.ABC):
+    """One admissible lower bound with scalar and batched evaluation."""
+
+    #: Stable identifier used in reports and the README validity table.
+    name: str = "lower-bound"
+
+    @abc.abstractmethod
+    def applies_to(self, distance: Distance) -> bool:
+        """Whether this bound is valid for ``distance``."""
+
+    @abc.abstractmethod
+    def pair(self, distance: Distance, first: np.ndarray, second: np.ndarray) -> float:
+        """Bound for one ``(n, dim)`` / ``(m, dim)`` pair."""
+
+    def batch(self, distance: Distance, query: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Bounds from ``query`` to a ``(k, m, dim)`` stack (default: loop)."""
+        return np.fromiter(
+            (self.pair(distance, query, items[i]) for i in range(items.shape[0])),
+            dtype=np.float64,
+            count=items.shape[0],
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class KimEndpointBound(LowerBound):
+    """LB_Kim-style endpoint bound for DTW (sum) and discrete Fréchet (max).
+
+    The start couplings ``(first[0], second[0])`` and end couplings
+    ``(first[-1], second[-1])`` are mandatory in every warping, so DTW pays
+    at least their sum -- *except* when both operands have length 1, where
+    start and end are the same single coupling and summing would count it
+    twice (the bound would exceed the exact distance); that case takes the
+    maximum instead, which is also what the bottleneck Fréchet distance
+    always uses.
+    """
+
+    name = "kim"
+
+    def applies_to(self, distance: Distance) -> bool:
+        return isinstance(distance, (DTW, DiscreteFrechet))
+
+    def pair(self, distance, first, second) -> float:
+        metric = distance.element_metric
+        start = metric.single(first[0], second[0])
+        end = metric.single(first[-1], second[-1])
+        if isinstance(distance, DiscreteFrechet) or (
+            first.shape[0] == 1 and second.shape[0] == 1
+        ):
+            return float(max(start, end))
+        return float(start + end)
+
+    def batch(self, distance, query, items) -> np.ndarray:
+        metric = distance.element_metric
+        start = _point_distances(metric, items[:, 0, :], query[0])
+        end = _point_distances(metric, items[:, -1, :], query[-1])
+        if isinstance(distance, DiscreteFrechet) or (
+            query.shape[0] == 1 and items.shape[1] == 1
+        ):
+            return np.maximum(start, end)
+        return start + end
+
+
+class KeoghEnvelopeBound(LowerBound):
+    """LB_Keogh-style bounding-box bound for DTW, ERP, and discrete Fréchet.
+
+    Every element of the query is either coupled with some element of the
+    item (cost at least its ground distance to the item's axis-aligned
+    bounding box) or, for ERP only, left unmatched (cost exactly its ground
+    distance to the gap element).  Summing the per-element minima (or taking
+    the maximum, for the bottleneck Fréchet distance) is therefore a valid
+    bound for any warping, banded or not.  Only meaningful for the L2 / L1
+    ground metrics; the discrete metric gets nothing from a bounding box.
+    """
+
+    name = "keogh"
+
+    def applies_to(self, distance: Distance) -> bool:
+        return isinstance(distance, (DTW, ERP, DiscreteFrechet)) and (
+            distance.element_metric.kind in ("euclidean", "manhattan")
+        )
+
+    def pair(self, distance, first, second) -> float:
+        low = second.min(axis=0)
+        high = second.max(axis=0)
+        deficits = _box_deficit(distance.element_metric.kind, first, low, high)
+        if isinstance(distance, ERP):
+            gap = distance._gap_vector(first.shape[1])
+            gap_costs = distance.element_metric.to_origin(first, gap)
+            deficits = np.minimum(deficits, gap_costs)
+        if isinstance(distance, DiscreteFrechet):
+            return float(np.max(deficits))
+        return float(np.sum(deficits))
+
+    def batch(self, distance, query, items) -> np.ndarray:
+        low = items.min(axis=1)[:, None, :]
+        high = items.max(axis=1)[:, None, :]
+        deficits = _box_deficit(distance.element_metric.kind, query[None, :, :], low, high)
+        if isinstance(distance, ERP):
+            gap = distance._gap_vector(query.shape[1])
+            gap_costs = distance.element_metric.to_origin(query, gap)
+            deficits = np.minimum(deficits, gap_costs[None, :])
+        if isinstance(distance, DiscreteFrechet):
+            return np.max(deficits, axis=1)
+        return np.sum(deficits, axis=1)
+
+
+class ErpGapBound(LowerBound):
+    """Chen & Ng's |sum-to-gap difference| bound for ERP."""
+
+    name = "erp-gap"
+
+    def applies_to(self, distance: Distance) -> bool:
+        return isinstance(distance, ERP)
+
+    def pair(self, distance, first, second) -> float:
+        gap = distance._gap_vector(first.shape[1])
+        metric = distance.element_metric
+        total_first = float(np.sum(metric.to_origin(first, gap)))
+        total_second = float(np.sum(metric.to_origin(second, gap)))
+        return abs(total_first - total_second)
+
+    def batch(self, distance, query, items) -> np.ndarray:
+        gap = distance._gap_vector(query.shape[1])
+        metric = distance.element_metric
+        total_query = float(np.sum(metric.to_origin(query, gap)))
+        totals = np.sum(metric.to_origin_batch(items, gap), axis=1)
+        return np.abs(totals - total_query)
+
+
+class LengthBound(LowerBound):
+    """|n - m| indels are unavoidable for the edit-family distances.
+
+    For the weighted Levenshtein distance the bound scales by the cheaper of
+    the insertion and deletion costs.
+    """
+
+    name = "length"
+
+    def applies_to(self, distance: Distance) -> bool:
+        return isinstance(distance, (Levenshtein, WeightedLevenshtein, EDR))
+
+    def _scale(self, distance) -> float:
+        if isinstance(distance, WeightedLevenshtein):
+            return min(distance.insertion_cost, distance.deletion_cost)
+        return 1.0
+
+    def pair(self, distance, first, second) -> float:
+        return abs(first.shape[0] - second.shape[0]) * self._scale(distance)
+
+    def batch(self, distance, query, items) -> np.ndarray:
+        value = abs(query.shape[0] - items.shape[1]) * self._scale(distance)
+        return np.full(items.shape[0], value, dtype=np.float64)
+
+
+class NormBound(LowerBound):
+    """Reverse triangle inequality for the Euclidean sequence distance."""
+
+    name = "norm"
+
+    def applies_to(self, distance: Distance) -> bool:
+        return isinstance(distance, Euclidean)
+
+    def pair(self, distance, first, second) -> float:
+        return abs(float(np.linalg.norm(first)) - float(np.linalg.norm(second)))
+
+    def batch(self, distance, query, items) -> np.ndarray:
+        query_norm = float(np.linalg.norm(query))
+        norms = np.sqrt(np.sum(items * items, axis=(1, 2)))
+        return np.abs(norms - query_norm)
+
+
+_REGISTRY: List[LowerBound] = []
+
+
+def register_lower_bound(bound: LowerBound) -> None:
+    """Add ``bound`` to the registry consulted by the combined bounds."""
+    if any(existing.name == bound.name for existing in _REGISTRY):
+        raise DistanceError(f"a lower bound named {bound.name!r} is already registered")
+    _REGISTRY.append(bound)
+
+
+def registered_lower_bounds() -> List[LowerBound]:
+    """All registered bounds, in registration order."""
+    return list(_REGISTRY)
+
+
+def bounds_for(distance: Distance) -> List[LowerBound]:
+    """The registered bounds valid for ``distance`` (possibly empty)."""
+    return [bound for bound in _REGISTRY if bound.applies_to(distance)]
+
+
+def combined_bound(distance: Distance, first, second) -> float:
+    """Max over every applicable bound for one pair; 0 when none applies."""
+    applicable = bounds_for(distance)
+    if not applicable:
+        return 0.0
+    a = as_array(first)
+    b = as_array(second)
+    return max(bound.pair(distance, a, b) for bound in applicable)
+
+
+def combined_batch_bound(distance: Distance, query: np.ndarray, items: np.ndarray) -> np.ndarray:
+    """Max over every applicable bound for a ``(k, m, dim)`` stack of items."""
+    applicable = bounds_for(distance)
+    values = np.zeros(items.shape[0], dtype=np.float64)
+    for bound in applicable:
+        np.maximum(values, bound.batch(distance, query, items), out=values)
+    return values
+
+
+register_lower_bound(KimEndpointBound())
+register_lower_bound(KeoghEnvelopeBound())
+register_lower_bound(ErpGapBound())
+register_lower_bound(LengthBound())
+register_lower_bound(NormBound())

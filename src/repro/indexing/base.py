@@ -22,6 +22,8 @@ import abc
 from dataclasses import dataclass
 from typing import Hashable, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.distances.base import Distance, SequenceLike
 from repro.distances.cache import DistanceCache
 from repro.exceptions import DistanceError, IndexError_
@@ -70,6 +72,14 @@ class MetricIndex(abc.ABC):
         fresh computations.  The matcher shares one cache between its index
         and its verification step so Type III's growing-radius re-queries
         never pay for a pair twice.
+    prefilter:
+        When true, the cutoff-carrying distance paths evaluate the
+        registered lower bounds of :mod:`repro.distances.lower_bounds`
+        before running a kernel (see
+        :class:`~repro.indexing.stats.CountingDistance`).  Only meaningful
+        for indexes that decide membership with a bounded distance -- the
+        linear scan -- because the tree indexes need exact values for their
+        triangle-inequality routing.
     """
 
     #: Human-readable index name used in reports and benchmarks.
@@ -81,13 +91,14 @@ class MetricIndex(abc.ABC):
         counter: Optional[DistanceCounter] = None,
         require_metric: bool = True,
         cache: Optional[DistanceCache] = None,
+        prefilter: bool = False,
     ) -> None:
         if require_metric and not distance.is_metric:
             raise DistanceError(
                 f"{type(self).__name__} relies on the triangle inequality but "
                 f"{distance.name!r} is not a metric; use LinearScanIndex instead"
             )
-        self._counting = CountingDistance(distance, counter, cache)
+        self._counting = CountingDistance(distance, counter, cache, prefilter=prefilter)
         self._items: dict = {}
 
     # ------------------------------------------------------------------ #
@@ -121,6 +132,21 @@ class MetricIndex(abc.ABC):
         inequality routing of tree indexes (those need exact values).
         """
         return self._counting.bounded(first, second, cutoff)
+
+    def _d_batch(
+        self,
+        query: SequenceLike,
+        items: List[SequenceLike],
+        cutoff: Optional[float] = None,
+    ) -> "np.ndarray":
+        """Compute (and count) distances from ``query`` to many payloads at once.
+
+        Goes through :meth:`CountingDistance.batch`: cache lookups first,
+        then lower-bound prefilters (when enabled), then one batched kernel
+        per same-shape group.  The usual early-abandon contract applies when
+        ``cutoff`` is given.
+        """
+        return self._counting.batch(query, items, cutoff)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -157,6 +183,20 @@ class MetricIndex(abc.ABC):
     @abc.abstractmethod
     def range_query(self, query: SequenceLike, radius: float) -> List[RangeMatch]:
         """Return every stored item within ``radius`` of ``query``."""
+
+    def batch_range_query(
+        self, queries: Iterable[SequenceLike], radius: float
+    ) -> List[List[RangeMatch]]:
+        """Answer many range queries at once; one result list per query.
+
+        The default delegates to :meth:`range_query` per query, so every
+        index supports the batched entry point; implementations with a
+        genuinely batched execution (the linear scan's grouped kernel
+        sweeps, the reference index's batched reference distances) override
+        it.  Results are guaranteed to be identical to running the queries
+        one at a time.
+        """
+        return [self.range_query(query, radius) for query in queries]
 
     # ------------------------------------------------------------------ #
     # Conveniences shared by every implementation

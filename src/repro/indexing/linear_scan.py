@@ -9,7 +9,7 @@ computations for a query over ``n`` items achieves a pruning ratio of
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional
+from typing import Hashable, Iterable, List, Optional
 
 from repro.distances.base import Distance, SequenceLike
 from repro.distances.cache import DistanceCache
@@ -27,6 +27,20 @@ class LinearScanIndex(MetricIndex):
     the scan only needs each item's exact distance when it is within the
     radius, so the DP kernels may give up as soon as the radius is provably
     unreachable.
+
+    With ``prefilter=True`` the registered lower bounds of
+    :mod:`repro.distances.lower_bounds` run in front of every kernel: pairs
+    whose bound already exceeds the radius are settled for O(n) instead of
+    O(nm), counted on the counter's prefilter tallies.  Prefiltering never
+    changes the result set (bounds are admissible); it is off by default so
+    the bare index keeps the one-kernel-per-item accounting the paper's
+    figures normalise against, and the matcher turns it on via
+    :attr:`~repro.core.config.MatcherConfig.prefilter`.
+
+    :meth:`batch_range_query` is genuinely batched: stored items are grouped
+    by shape and each group's distances are computed by one vectorized
+    kernel sweep (see :meth:`~repro.distances.base.Distance.batch`), which
+    is substantially faster than per-pair calls for the elastic measures.
     """
 
     index_name = "linear-scan"
@@ -36,8 +50,11 @@ class LinearScanIndex(MetricIndex):
         distance: Distance,
         counter: Optional[DistanceCounter] = None,
         cache: Optional[DistanceCache] = None,
+        prefilter: bool = False,
     ) -> None:
-        super().__init__(distance, counter, require_metric=False, cache=cache)
+        super().__init__(
+            distance, counter, require_metric=False, cache=cache, prefilter=prefilter
+        )
 
     def add(self, item: object, key: Optional[Hashable] = None) -> Hashable:
         if key is None:
@@ -62,3 +79,29 @@ class LinearScanIndex(MetricIndex):
             if value <= radius:
                 matches.append(RangeMatch(key, item, value))
         return matches
+
+    def batch_range_query(
+        self, queries: Iterable[SequenceLike], radius: float
+    ) -> List[List[RangeMatch]]:
+        """One grouped kernel sweep per query instead of per-pair calls.
+
+        Results are identical to :meth:`range_query` (same keys, same
+        distances, insertion order preserved); only the execution changes:
+        cache lookups, then one vectorized lower-bound pass (when
+        prefiltering is enabled), then one batched kernel per same-shape
+        group of stored items.
+        """
+        if radius < 0:
+            raise IndexError_(f"radius must be non-negative, got {radius}")
+        keys = list(self._items.keys())
+        items = [self._items[key] for key in keys]
+        results: List[List[RangeMatch]] = []
+        for query in queries:
+            matches: List[RangeMatch] = []
+            if items:
+                values = self._d_batch(query, items, cutoff=radius)
+                for key, item, value in zip(keys, items, values):
+                    if value <= radius:
+                        matches.append(RangeMatch(key, item, float(value)))
+            results.append(matches)
+        return results

@@ -281,7 +281,16 @@ class ReferenceIndex(MetricIndex):
             value = self._d(query, reference)
             query_vector[index] = value
             reference_values[ref_key] = value
+        return self._filter_with_bounds(query, query_vector, reference_values, radius)
 
+    def _filter_with_bounds(
+        self,
+        query: SequenceLike,
+        query_vector: np.ndarray,
+        reference_values: Dict[Hashable, float],
+        radius: float,
+    ) -> List[RangeMatch]:
+        """Triangle-inequality filtering given the query-to-reference vector."""
         matches: List[RangeMatch] = []
         for key, item in self._items.items():
             if key in reference_values:
@@ -302,6 +311,32 @@ class ReferenceIndex(MetricIndex):
             if value <= radius:
                 matches.append(RangeMatch(key, item, value))
         return matches
+
+    def batch_range_query(
+        self, queries: "TypingSequence[SequenceLike]", radius: float
+    ) -> List[List[RangeMatch]]:
+        """Range queries with batched query-to-reference distance kernels.
+
+        The ``k`` reference distances each query needs are computed by one
+        grouped kernel sweep (:meth:`~repro.distances.base.Distance.batch`)
+        instead of ``k`` separate calls; the triangle-inequality filtering
+        and the straddler checks then proceed exactly as in
+        :meth:`range_query`, so the results are identical.
+        """
+        if radius < 0:
+            raise IndexError_(f"radius must be non-negative, got {radius}")
+        if not self._items:
+            return [[] for _ in queries]
+        if self._dirty:
+            self.build()
+        results: List[List[RangeMatch]] = []
+        for query in queries:
+            query_vector = self._counting.batch(query, self._reference_items)
+            reference_values = dict(zip(self._reference_keys, query_vector.tolist()))
+            results.append(
+                self._filter_with_bounds(query, query_vector, reference_values, radius)
+            )
+        return results
 
     # ------------------------------------------------------------------ #
     # Statistics

@@ -35,7 +35,7 @@ the paper's Figure 2 motivates for the multi-parent design.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.distances.base import Distance, SequenceLike
 from repro.distances.cache import DistanceCache
@@ -349,6 +349,28 @@ class ReferenceNet(MetricIndex):
                     continue
                 self._route_children(node, value, radius, decided, matches, pending)
         return matches
+
+    def batch_range_query(
+        self, queries: Iterable[SequenceLike], radius: float
+    ) -> List[List[RangeMatch]]:
+        """Range queries with reference-distance reuse across the batch.
+
+        The net's traversal needs exact distances for its routing, so the
+        queries still descend the hierarchy one at a time -- but a batch
+        frequently probes overlapping query segments against the same
+        references (the matcher's step 4 does exactly that), and those
+        repeated (query, reference) pairs need only be measured once.  When
+        no cache is attached, a batch-local
+        :class:`~repro.distances.cache.DistanceCache` provides that reuse;
+        with an attached cache the sharing already happens there.
+        """
+        if self._counting.cache is None:
+            self._counting.cache = DistanceCache()
+            try:
+                return [self.range_query(query, radius) for query in queries]
+            finally:
+                self._counting.cache = None
+        return [self.range_query(query, radius) for query in queries]
 
     def _route_children(
         self,

@@ -11,22 +11,40 @@ Since the introduction of the :class:`~repro.distances.cache.DistanceCache`,
 a "distance call" can be answered without computing anything; those hits are
 tracked separately (:attr:`DistanceCounter.cache_hits`) so the reported
 computation counts keep meaning *fresh* kernel executions, the quantity the
-paper's pruning-ratio figures are defined over.
+paper's pruning-ratio figures are defined over.  Lower-bound prefilter
+evaluations (see :mod:`repro.distances.lower_bounds`) are a third category:
+they are O(n) rather than O(nm) and are counted on their own tallies
+(:attr:`DistanceCounter.prefilter_evaluations` /
+:attr:`DistanceCounter.prefilter_pruned`), again keeping the computation
+counts comparable with the paper's definition.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence as TypingSequence
 
-from repro.distances.base import Distance, SequenceLike
+import numpy as np
+
+from repro.distances.base import (
+    Distance,
+    SequenceLike,
+    as_array,
+    group_batch_operands,
+)
 from repro.distances.cache import DistanceCache
+from repro.distances.lower_bounds import combined_batch_bound, combined_bound
+
+_INF = float("inf")
 
 
 class DistanceCounter:
     """A counter of distance evaluations with checkpoint support.
 
-    Fresh kernel executions (:attr:`total`) and cache hits
-    (:attr:`cache_hits`) are counted separately; checkpoints snapshot both.
+    Fresh kernel executions (:attr:`total`), cache hits
+    (:attr:`cache_hits`), and lower-bound prefilter evaluations
+    (:attr:`prefilter_evaluations`, of which :attr:`prefilter_pruned`
+    skipped the kernel) are counted separately; checkpoints snapshot all of
+    them.
     """
 
     def __init__(self) -> None:
@@ -34,6 +52,10 @@ class DistanceCounter:
         self._checkpoint = 0
         self._cache_hits = 0
         self._cache_hits_checkpoint = 0
+        self._prefilter = 0
+        self._prefilter_checkpoint = 0
+        self._prefilter_pruned = 0
+        self._prefilter_pruned_checkpoint = 0
 
     @property
     def total(self) -> int:
@@ -45,6 +67,16 @@ class DistanceCounter:
         """Distance requests answered by the cache instead of a computation."""
         return self._cache_hits
 
+    @property
+    def prefilter_evaluations(self) -> int:
+        """Lower-bound evaluations performed in front of the kernels."""
+        return self._prefilter
+
+    @property
+    def prefilter_pruned(self) -> int:
+        """Prefilter evaluations that proved the pair outside the radius."""
+        return self._prefilter_pruned
+
     def increment(self, amount: int = 1) -> None:
         """Record ``amount`` additional distance evaluations."""
         self._total += amount
@@ -53,17 +85,28 @@ class DistanceCounter:
         """Record ``amount`` distance requests served from the cache."""
         self._cache_hits += amount
 
+    def record_prefilter(self, evaluated: int = 1, pruned: int = 0) -> None:
+        """Record lower-bound evaluations, ``pruned`` of which skipped a kernel."""
+        self._prefilter += evaluated
+        self._prefilter_pruned += pruned
+
     def reset(self) -> None:
         """Zero the counter."""
         self._total = 0
         self._checkpoint = 0
         self._cache_hits = 0
         self._cache_hits_checkpoint = 0
+        self._prefilter = 0
+        self._prefilter_checkpoint = 0
+        self._prefilter_pruned = 0
+        self._prefilter_pruned_checkpoint = 0
 
     def checkpoint(self) -> None:
         """Remember the current totals; see :meth:`since_checkpoint`."""
         self._checkpoint = self._total
         self._cache_hits_checkpoint = self._cache_hits
+        self._prefilter_checkpoint = self._prefilter
+        self._prefilter_pruned_checkpoint = self._prefilter_pruned
 
     def since_checkpoint(self) -> int:
         """Fresh evaluations since the last :meth:`checkpoint` call."""
@@ -73,8 +116,19 @@ class DistanceCounter:
         """Cache hits since the last :meth:`checkpoint` call."""
         return self._cache_hits - self._cache_hits_checkpoint
 
+    def prefilter_since_checkpoint(self) -> int:
+        """Prefilter evaluations since the last :meth:`checkpoint` call."""
+        return self._prefilter - self._prefilter_checkpoint
+
+    def prefilter_pruned_since_checkpoint(self) -> int:
+        """Prefilter prunes since the last :meth:`checkpoint` call."""
+        return self._prefilter_pruned - self._prefilter_pruned_checkpoint
+
     def __repr__(self) -> str:
-        return f"DistanceCounter(total={self._total}, cache_hits={self._cache_hits})"
+        return (
+            f"DistanceCounter(total={self._total}, cache_hits={self._cache_hits}, "
+            f"prefilter={self._prefilter}/{self._prefilter_pruned} pruned)"
+        )
 
 
 class CountingDistance:
@@ -88,6 +142,13 @@ class CountingDistance:
     of :class:`~repro.sequences.sequence.Sequence` payloads are looked up
     before computing; hits are recorded on the counter's separate cache-hit
     tally and fresh results are stored back into the cache.
+
+    With ``prefilter=True``, the cutoff-carrying paths (:meth:`bounded`,
+    :meth:`batch`) additionally evaluate the registered lower bounds of
+    :mod:`repro.distances.lower_bounds` before running a kernel: a bound
+    beyond the cutoff settles the pair as "outside" for the cost of an O(n)
+    scan, recorded on the counter's prefilter tallies (and, when a cache is
+    attached, remembered as a ``distance > cutoff`` entry).
     """
 
     def __init__(
@@ -95,10 +156,12 @@ class CountingDistance:
         inner: Distance,
         counter: Optional[DistanceCounter] = None,
         cache: Optional[DistanceCache] = None,
+        prefilter: bool = False,
     ) -> None:
         self.inner = inner
         self.counter = counter if counter is not None else DistanceCounter()
         self.cache = cache
+        self.prefilter = bool(prefilter)
 
     @property
     def name(self) -> str:
@@ -127,19 +190,88 @@ class CountingDistance:
         """Early-abandoning variant; see :meth:`Distance.bounded`.
 
         Cache entries recorded here may be lower bounds rather than exact
-        values (when the kernel abandoned); the cache keeps the distinction.
+        values (when the kernel abandoned or a prefilter bound pruned); the
+        cache keeps the distinction.
         """
-        if self.cache is not None and DistanceCache.cacheable(first, second):
+        cacheable = self.cache is not None and DistanceCache.cacheable(first, second)
+        if cacheable:
             cached = self.cache.lookup(first, second, cutoff=cutoff)
             if cached is not None:
                 self.counter.record_cache_hit()
                 return cached
-            value = self.inner.bounded(first, second, cutoff)
-            self.counter.increment()
-            self.cache.store(first, second, value, cutoff=cutoff)
-            return value
+        if self.prefilter:
+            bound = combined_bound(self.inner, first, second)
+            pruned = bound > cutoff
+            self.counter.record_prefilter(1, 1 if pruned else 0)
+            if pruned:
+                if cacheable:
+                    self.cache.store(first, second, _INF, cutoff=cutoff)
+                return _INF
+        value = self.inner.bounded(first, second, cutoff)
         self.counter.increment()
-        return self.inner.bounded(first, second, cutoff)
+        if cacheable:
+            self.cache.store(first, second, value, cutoff=cutoff)
+        return value
+
+    def batch(
+        self,
+        query: SequenceLike,
+        items: TypingSequence[SequenceLike],
+        cutoff: Optional[float] = None,
+    ) -> np.ndarray:
+        """Counted, cached, prefiltered :meth:`Distance.batch`.
+
+        Cache lookups run per pair first; the remaining pairs are grouped by
+        shape, prefiltered (when enabled and a cutoff is given) with one
+        vectorized bound evaluation per group, and the survivors go through
+        the batched kernels in one call per group.  The returned array obeys
+        the same contract as :meth:`Distance.batch`.
+        """
+        values = np.empty(len(items), dtype=np.float64)
+        query_array = as_array(query)
+        pending: List[int] = []
+        for index, item in enumerate(items):
+            if self.cache is not None and DistanceCache.cacheable(query, item):
+                cached = self.cache.lookup(query, item, cutoff=cutoff)
+                if cached is not None:
+                    self.counter.record_cache_hit()
+                    values[index] = cached
+                    continue
+            pending.append(index)
+        if not pending:
+            return values
+
+        arrays, groups = group_batch_operands(self.inner, query_array, items, pending)
+        for indexes in groups.values():
+            tensor = np.stack([arrays[i] for i in indexes])
+            survivors = indexes
+            if self.prefilter and cutoff is not None:
+                bounds = combined_batch_bound(self.inner, query_array, tensor)
+                pruned_mask = bounds > cutoff
+                pruned_count = int(np.count_nonzero(pruned_mask))
+                self.counter.record_prefilter(len(indexes), pruned_count)
+                if pruned_count:
+                    for position in np.nonzero(pruned_mask)[0]:
+                        index = indexes[position]
+                        values[index] = _INF
+                        if self.cache is not None and DistanceCache.cacheable(
+                            query, items[index]
+                        ):
+                            self.cache.store(query, items[index], _INF, cutoff=cutoff)
+                    keep = np.nonzero(~pruned_mask)[0]
+                    survivors = [indexes[position] for position in keep]
+                    tensor = tensor[keep]
+            if not survivors:
+                continue
+            fresh = self.inner.compute_batch(
+                query_array, tensor, None if cutoff is None else float(cutoff)
+            )
+            self.counter.increment(len(survivors))
+            for position, index in enumerate(survivors):
+                values[index] = float(fresh[position])
+                if self.cache is not None and DistanceCache.cacheable(query, items[index]):
+                    self.cache.store(query, items[index], values[index], cutoff=cutoff)
+        return values
 
     def __repr__(self) -> str:
         return f"CountingDistance({self.inner!r}, total={self.counter.total})"

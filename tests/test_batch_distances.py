@@ -1,0 +1,133 @@
+"""Equivalence tests for the batched distance API (``Distance.batch``).
+
+The batched kernels must agree with the per-pair kernels: exact equality of
+the returned value whenever it is within the cutoff (the contract range
+queries rely on), and "provably outside" agreement beyond it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DTW,
+    EDR,
+    ERP,
+    DiscreteFrechet,
+    Euclidean,
+    Hamming,
+    IncompatibleSequencesError,
+    LCSS,
+    Levenshtein,
+    Sequence,
+    WeightedLevenshtein,
+)
+
+RNG = np.random.default_rng(2024)
+
+ELASTIC = [
+    DTW(),
+    DTW(band=4),
+    ERP(),
+    ERP(gap=1.0),
+    DiscreteFrechet(),
+    Levenshtein(),
+    WeightedLevenshtein(insertion_cost=0.5, deletion_cost=2.0),
+    EDR(epsilon=0.4),
+    LCSS(epsilon=0.4),
+]
+
+
+def _series(length):
+    return RNG.normal(size=length)
+
+
+def _assert_batch_matches_single(distance, query, items, cutoff):
+    values = distance.batch(query, items, cutoff=cutoff)
+    assert values.shape == (len(items),)
+    for index, item in enumerate(items):
+        if cutoff is None:
+            assert values[index] == pytest.approx(distance(query, item), abs=1e-9)
+        else:
+            reference = distance.bounded(query, item, cutoff)
+            if reference <= cutoff:
+                assert values[index] == pytest.approx(reference, abs=1e-9)
+            else:
+                assert values[index] > cutoff
+
+
+class TestBatchAgainstSingle:
+    @pytest.mark.parametrize("distance", ELASTIC, ids=lambda d: repr(d))
+    def test_equal_length_series(self, distance):
+        query = _series(20)
+        items = [_series(20) for _ in range(12)]
+        _assert_batch_matches_single(distance, query, items, None)
+        _assert_batch_matches_single(distance, query, items, 3.0)
+
+    @pytest.mark.parametrize(
+        "distance",
+        [DTW(), ERP(), DiscreteFrechet(), Levenshtein(), EDR()],
+        ids=lambda d: d.name,
+    )
+    def test_mixed_length_series_group_by_shape(self, distance):
+        query = _series(20)
+        items = [_series(length) for length in (20, 20, 14, 27, 14, 20, 31)]
+        _assert_batch_matches_single(distance, query, items, None)
+        _assert_batch_matches_single(distance, query, items, 4.0)
+
+    @pytest.mark.parametrize(
+        "distance",
+        [DTW(), ERP(gap=[0.0, 0.0]), DiscreteFrechet(), EDR()],
+        ids=lambda d: d.name,
+    )
+    def test_trajectories(self, distance):
+        query = RNG.normal(size=(15, 2))
+        items = [RNG.normal(size=(15, 2)) for _ in range(6)]
+        items += [RNG.normal(size=(11, 2)) for _ in range(4)]
+        _assert_batch_matches_single(distance, query, items, None)
+        _assert_batch_matches_single(distance, query, items, 4.0)
+
+    def test_large_tables_hit_vectorized_single_path(self):
+        # > 1024 cells, so the per-pair reference uses the vectorized kernel.
+        query = _series(60)
+        items = [_series(60) for _ in range(4)]
+        for distance in (DTW(), ERP(), DiscreteFrechet(), Levenshtein()):
+            _assert_batch_matches_single(distance, query, items, None)
+            _assert_batch_matches_single(distance, query, items, 8.0)
+
+    def test_lockstep_distances(self):
+        query = _series(18)
+        items = [_series(18) for _ in range(9)]
+        _assert_batch_matches_single(Euclidean(), query, items, None)
+        _assert_batch_matches_single(Euclidean(), query, items, 2.0)
+        symbols = RNG.integers(0, 4, size=18)
+        symbol_items = [RNG.integers(0, 4, size=18) for _ in range(9)]
+        _assert_batch_matches_single(Hamming(), symbols, symbol_items, None)
+        _assert_batch_matches_single(Hamming(normalised=True), symbols, symbol_items, None)
+
+    def test_sequences_as_inputs(self):
+        query = Sequence.from_values(_series(16), seq_id="q")
+        items = [Sequence.from_values(_series(16), seq_id=f"i{i}") for i in range(5)]
+        _assert_batch_matches_single(DiscreteFrechet(), query, items, 1.0)
+
+    def test_lockstep_rejects_unequal_lengths(self):
+        with pytest.raises(IncompatibleSequencesError):
+            Euclidean().batch(_series(10), [_series(10), _series(12)])
+
+    def test_empty_item_list(self):
+        values = DTW().batch(_series(10), [])
+        assert values.shape == (0,)
+
+
+class TestBatchCutoffSemantics:
+    def test_all_items_beyond_cutoff(self):
+        query = np.zeros(12)
+        items = [np.full(12, 100.0 + i) for i in range(5)]
+        values = DTW().batch(query, items, cutoff=1.0)
+        assert np.all(values > 1.0)
+
+    def test_within_cutoff_values_are_exact(self):
+        query = _series(15)
+        items = [query + RNG.normal(scale=0.01, size=15) for _ in range(6)]
+        values = ERP().batch(query, items, cutoff=50.0)
+        for index, item in enumerate(items):
+            assert values[index] == pytest.approx(ERP()(query, item), abs=1e-9)

@@ -49,6 +49,29 @@ class TestSearch:
         assert code == 0
         assert "query cut from" in captured.out
 
+    def test_search_stats_table(self, generated_db, capsys):
+        code = main(
+            [
+                "search",
+                str(generated_db),
+                "--dataset",
+                "songs",
+                "--radius",
+                "3.0",
+                "--min-length",
+                "20",
+                "--max-shift",
+                "1",
+                "--stats",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "query statistics" in captured.out
+        assert "pruning ratio alpha" in captured.out
+        assert "prefilter evaluations" in captured.out
+        assert "stage time: probe" in captured.out
+
     def test_search_missing_database(self, tmp_path, capsys):
         code = main(
             ["search", str(tmp_path / "absent.npz"), "--dataset", "songs"]

@@ -1,0 +1,357 @@
+"""Equivalence tests for the staged query-execution pipeline.
+
+Three guarantees the refactor must preserve:
+
+* ``batch_range_query`` returns exactly what per-query ``range_query`` calls
+  return, on every index and distance pairing;
+* the pipeline-backed matcher returns exactly what the pre-refactor
+  orchestration (a per-segment loop over ``index.range_query`` followed by
+  chaining and fallback verification) returned;
+* lower-bound prefiltering never changes a result set.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DTW,
+    DiscreteFrechet,
+    ERP,
+    Levenshtein,
+    LongestSubsequenceQuery,
+    MatcherConfig,
+    NearestSubsequenceQuery,
+    RangeQuery,
+    Sequence,
+    SequenceDatabase,
+    SequenceKind,
+    SubsequenceMatcher,
+)
+from repro.core.candidates import CandidateChain, chain_segment_matches
+from repro.core.queries import SegmentMatch
+from repro.core.segmentation import extract_query_segments
+from repro.core.verification import _VerificationCounter, verify_chain
+from repro.distances import shared_cache
+from repro.indexing import (
+    CoverTree,
+    LinearScanIndex,
+    ReferenceIndex,
+    ReferenceNet,
+    VPTree,
+)
+
+ALL_INDEXES = ["reference-net", "cover-tree", "reference-based", "vp-tree", "linear-scan"]
+
+
+@pytest.fixture(scope="module")
+def planted():
+    """A small planted database, its query, and window sequences."""
+    generator = np.random.default_rng(42)
+    pattern = np.cumsum(generator.normal(size=24))
+    db = SequenceDatabase(SequenceKind.TIME_SERIES, name="planted")
+    first = np.concatenate(
+        [generator.uniform(30, 40, 8), pattern, generator.uniform(30, 40, 8)]
+    )
+    second = np.concatenate(
+        [generator.uniform(-40, -30, 14), pattern + 0.05, generator.uniform(-40, -30, 2)]
+    )
+    third = generator.uniform(60, 70, size=40)
+    db.add(Sequence.from_values(first, seq_id="p1"))
+    db.add(Sequence.from_values(second, seq_id="p2"))
+    db.add(Sequence.from_values(third, seq_id="bg"))
+    query = Sequence(np.asarray(first[8:32]) + 0.01, SequenceKind.TIME_SERIES, "query")
+    return db, query
+
+
+def _match_key(match):
+    return (match.source_id, match.query_start, match.query_stop, match.db_start, match.db_stop)
+
+
+def _legacy_query(matcher, query, radius, mode):
+    """The pre-refactor orchestration: per-segment probes, chain, verify."""
+    segments = extract_query_segments(query, matcher.config)
+    seg_matches = []
+    windows_by_key = {window.key: window for window in matcher.windows}
+    for segment in segments:
+        for hit in matcher.index.range_query(segment.sequence, radius):
+            window = windows_by_key[hit.key]
+            seg_matches.append(
+                SegmentMatch(
+                    query_start=segment.start,
+                    query_length=segment.length,
+                    window=window,
+                    distance=hit.distance,
+                )
+            )
+    chains = chain_segment_matches(seg_matches, matcher.config)
+    counter = _VerificationCounter()
+
+    def verify_fallback(chain):
+        verified = verify_chain(
+            chain,
+            query,
+            matcher.database[chain.source_id],
+            matcher.distance,
+            radius,
+            matcher.config,
+            counter,
+            cache=matcher.distance_cache,
+        )
+        if verified is not None or chain.window_count == 1:
+            return verified
+        middle = chain.window_count // 2
+        best = None
+        for half in (
+            CandidateChain(chain.source_id, chain.matches[:middle]),
+            CandidateChain(chain.source_id, chain.matches[middle:]),
+        ):
+            candidate = verify_fallback(half)
+            if candidate is None:
+                continue
+            if (
+                best is None
+                or candidate.length > best.length
+                or (candidate.length == best.length and candidate.distance < best.distance)
+            ):
+                best = candidate
+        return best
+
+    if mode == "range":
+        results, seen = [], set()
+        for chain in chains:
+            verified = verify_fallback(chain)
+            if verified is None:
+                continue
+            key = _match_key(verified)
+            if key not in seen:
+                seen.add(key)
+                results.append(verified)
+        return results
+    best = None
+    for chain in chains:
+        potential = (chain.window_count + 2) * matcher.config.window_length
+        if best is not None and potential <= best.length:
+            break
+        verified = verify_fallback(chain)
+        if verified is None:
+            continue
+        if (
+            best is None
+            or verified.length > best.length
+            or (verified.length == best.length and verified.distance < best.distance)
+        ):
+            best = verified
+    return best
+
+
+class TestBatchRangeQueryEquivalence:
+    @pytest.mark.parametrize(
+        "make_index",
+        [
+            lambda d: LinearScanIndex(d),
+            lambda d: LinearScanIndex(d, prefilter=True),
+            lambda d: ReferenceIndex(d, num_references=4),
+            lambda d: ReferenceNet(d),
+            lambda d: CoverTree(d),
+            lambda d: VPTree(d),
+        ],
+        ids=["linear-scan", "linear-scan+prefilter", "reference-based", "reference-net",
+             "cover-tree", "vp-tree"],
+    )
+    @pytest.mark.parametrize("distance", [DiscreteFrechet(), ERP()], ids=lambda d: d.name)
+    def test_batch_equals_per_query(self, make_index, distance):
+        generator = np.random.default_rng(5)
+        index = make_index(distance)
+        items = [
+            Sequence.from_values(generator.normal(size=8), seq_id=f"w{i}") for i in range(50)
+        ]
+        for position, item in enumerate(items):
+            index.add(item, key=position)
+        if isinstance(index, (ReferenceIndex, VPTree)):
+            index.build()
+        queries = [
+            Sequence.from_values(generator.normal(size=8), seq_id=f"q{i}") for i in range(5)
+        ]
+        radius = 1.5 if distance.name == "frechet" else 6.0
+        singles = [index.range_query(query, radius) for query in queries]
+        batches = index.batch_range_query(queries, radius)
+        for single, batch in zip(singles, batches):
+            assert sorted(m.key for m in single) == sorted(m.key for m in batch)
+            single_distances = {m.key: m.distance for m in single}
+            for match in batch:
+                reference = single_distances[match.key]
+                if reference is not None and match.distance is not None:
+                    assert match.distance == pytest.approx(reference, abs=1e-9)
+
+    def test_non_metric_distances_on_linear_scan(self):
+        generator = np.random.default_rng(6)
+        for distance in (DTW(),):
+            index = LinearScanIndex(distance, prefilter=True)
+            for position in range(40):
+                index.add(
+                    Sequence.from_values(generator.normal(size=10), seq_id=f"w{position}"),
+                    key=position,
+                )
+            query = Sequence.from_values(generator.normal(size=10), seq_id="q")
+            single = index.range_query(query, 4.0)
+            batch = index.batch_range_query([query], 4.0)[0]
+            assert sorted(m.key for m in single) == sorted(m.key for m in batch)
+
+
+class TestPipelineMatchesLegacyOrchestration:
+    @pytest.mark.parametrize("index_name", ALL_INDEXES)
+    def test_range_search(self, planted, index_name):
+        db, query = planted
+        config = MatcherConfig(min_length=12, max_shift=1, index=index_name)
+        matcher = SubsequenceMatcher(db, DiscreteFrechet(), config)
+        expected = _legacy_query(matcher, query, 0.5, "range")
+        actual = matcher.range_search(query, RangeQuery(radius=0.5))
+        assert sorted(map(_match_key, actual)) == sorted(map(_match_key, expected))
+
+    @pytest.mark.parametrize("index_name", ALL_INDEXES)
+    def test_longest_similar(self, planted, index_name):
+        db, query = planted
+        config = MatcherConfig(min_length=12, max_shift=1, index=index_name)
+        matcher = SubsequenceMatcher(db, DiscreteFrechet(), config)
+        expected = _legacy_query(matcher, query, 0.5, "longest")
+        actual = matcher.longest_similar(query, 0.5)
+        assert (actual is None) == (expected is None)
+        if actual is not None:
+            assert _match_key(actual) == _match_key(expected)
+
+    def test_levenshtein_matcher(self, string_database):
+        config = MatcherConfig(min_length=8, max_shift=1, index="linear-scan")
+        matcher = SubsequenceMatcher(string_database, Levenshtein(), config)
+        query = Sequence.from_string("ACDEFGHIKL", string_database["s1"].alphabet)
+        expected = _legacy_query(matcher, query, 2.0, "longest")
+        actual = matcher.longest_similar(query, 2.0)
+        assert _match_key(actual) == _match_key(expected)
+
+    def test_prefilter_does_not_change_matcher_results(self, planted):
+        db, query = planted
+        base = MatcherConfig(min_length=12, max_shift=1, index="linear-scan")
+        with_pf = SubsequenceMatcher(db, DiscreteFrechet(), base)
+        without_pf = SubsequenceMatcher(
+            db,
+            DiscreteFrechet(),
+            MatcherConfig(min_length=12, max_shift=1, index="linear-scan", prefilter=False),
+        )
+        got = with_pf.range_search(query, 0.5)
+        want = without_pf.range_search(query, 0.5)
+        assert sorted(map(_match_key, got)) == sorted(map(_match_key, want))
+        assert with_pf.last_query_stats.prefilter_evaluations > 0
+        assert without_pf.last_query_stats.prefilter_evaluations == 0
+
+
+class TestQueryStatsPipeline:
+    def test_stage_timings_recorded(self, planted):
+        db, query = planted
+        matcher = SubsequenceMatcher(
+            db, DiscreteFrechet(), MatcherConfig(min_length=12, max_shift=1)
+        )
+        matcher.range_search(query, 0.5)
+        stats = matcher.last_query_stats
+        for stage in ("segment", "probe", "chain", "verify"):
+            assert stage in stats.stage_timings
+            assert stats.stage_timings[stage] >= 0.0
+
+    def test_type_iii_pass_history(self, planted):
+        db, query = planted
+        matcher = SubsequenceMatcher(
+            db, DiscreteFrechet(), MatcherConfig(min_length=12, max_shift=1)
+        )
+        best = matcher.nearest_subsequence(query, NearestSubsequenceQuery(max_radius=10.0))
+        assert best is not None
+        stats = matcher.last_query_stats
+        assert len(stats.passes) > 1
+        # Work counters aggregate over passes; shape counters are final-pass.
+        final = stats.passes[-1]
+        assert stats.candidate_chains == final.candidate_chains
+        assert stats.segment_matches == final.segment_matches
+        assert stats.index_distance_computations == sum(
+            p.index_distance_computations for p in stats.passes
+        )
+        # Aggregated work must cover at least the final pass's work.
+        assert stats.index_distance_computations >= final.index_distance_computations
+
+    def test_segment_memo_reused_across_passes(self, planted):
+        db, query = planted
+        matcher = SubsequenceMatcher(
+            db, DiscreteFrechet(), MatcherConfig(min_length=12, max_shift=1)
+        )
+        pipeline = matcher.pipeline
+        first = pipeline.segments_for(query)
+        second = pipeline.segments_for(query)
+        assert first is second
+
+
+class TestBatchQueryAndSharedCache:
+    def test_batch_query_matches_individual_queries(self, planted):
+        db, query = planted
+        matcher = SubsequenceMatcher(
+            db, DiscreteFrechet(), MatcherConfig(min_length=12, max_shift=1)
+        )
+        other = Sequence.from_values(np.asarray(db["p2"].values[14:38]) + 0.01, seq_id="q2")
+        spec = LongestSubsequenceQuery(radius=0.5)
+        batch_results = matcher.batch_query([query, other], spec)
+        assert len(batch_results) == 2
+        assert len(matcher.last_batch_stats) == 2
+        individual = [matcher.longest_similar(query, spec), matcher.longest_similar(other, spec)]
+        for got, want in zip(batch_results, individual):
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert _match_key(got) == _match_key(want)
+
+    def test_batch_query_survives_per_query_failure(self, planted):
+        db, query = planted
+        matcher = SubsequenceMatcher(
+            db, DiscreteFrechet(), MatcherConfig(min_length=12, max_shift=1)
+        )
+        alien = Sequence.from_values(np.full(20, 500.0), seq_id="alien")
+        results = matcher.batch_query(
+            [query, alien], NearestSubsequenceQuery(max_radius=1.0)
+        )
+        # The alien query has no segment match at max_radius (QueryError in
+        # the single-query method); the batch keeps going and reports None.
+        assert len(results) == 2
+        assert results[1] is None
+        assert len(matcher.last_batch_stats) == 2
+
+    def test_batch_query_range_spec_from_float(self, planted):
+        db, query = planted
+        matcher = SubsequenceMatcher(
+            db, DiscreteFrechet(), MatcherConfig(min_length=12, max_shift=1)
+        )
+        results = matcher.batch_query([query], 0.5)
+        assert isinstance(results[0], list)
+
+    def test_shared_cache_across_matchers(self, planted):
+        db, query = planted
+        cache = shared_cache("test-frechet-equivalence")
+        config = MatcherConfig(min_length=12, max_shift=1)
+        first = SubsequenceMatcher(db, DiscreteFrechet(), config, cache=cache)
+        first.longest_similar(query, 0.5)
+        entries_after_first = len(cache)
+        assert entries_after_first > 0
+        second = SubsequenceMatcher(db, DiscreteFrechet(), config, cache=cache)
+        # The shared cache survives the second matcher's construction...
+        assert len(cache) >= entries_after_first
+        second.longest_similar(query, 0.5)
+        # ...and answers its probes: the second matcher computes fewer
+        # fresh distances than the first did.
+        assert (
+            second.last_query_stats.total_cache_hits
+            >= first.last_query_stats.total_cache_hits
+        )
+        result_first = first.longest_similar(query, 0.5)
+        result_second = second.longest_similar(query, 0.5)
+        assert _match_key(result_first) == _match_key(result_second)
+
+    def test_refresh_preserves_shared_cache(self, planted):
+        db, _ = planted
+        cache = shared_cache("test-refresh-preserved")
+        config = MatcherConfig(min_length=12, max_shift=1)
+        matcher = SubsequenceMatcher(db, DiscreteFrechet(), config, cache=cache)
+        cache_len = len(cache)
+        matcher.refresh()
+        assert len(cache) >= cache_len
