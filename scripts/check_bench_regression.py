@@ -1,26 +1,49 @@
 #!/usr/bin/env python
-"""Compare a pytest-benchmark JSON run against a recorded baseline.
+"""Compare a pytest-benchmark JSON run against the recorded baseline.
 
 Used by the CI benchmark job to fail when any benchmark's median wall-clock
-regresses more than a threshold (default 25%) against the committed baseline
-(``BENCH_0.json`` at the repo root).  Benchmarks missing from either side
-are reported but never fail the check (new benchmarks have no baseline, and
-removed ones have no current run); very fast benchmarks can be excluded
-with ``--min-seconds`` because their medians are jitter-dominated.
+regresses more than a threshold (default 25%) against the committed baseline.
+Unless ``--baseline`` names a file explicitly, the *latest* recorded baseline
+is selected automatically: the highest-numbered ``BENCH_<n>.json`` in
+``--baseline-dir`` (default: the repository root).  Auto-selection is what
+keeps the gate honest across PRs -- a PR that records a new ``BENCH_2.json``
+tightens the bar for every later run without anyone having to edit the
+workflow, and a stale hard-coded ``--baseline BENCH_0.json`` can no longer
+let regressions slide against an obsolete bar.
+
+Benchmarks missing from either side are reported but never fail the check
+(new benchmarks have no baseline, and removed ones have no current run);
+very fast benchmarks can be excluded with ``--min-seconds`` because their
+medians are jitter-dominated.
 
 Usage::
 
     python scripts/check_bench_regression.py \
-        --baseline BENCH_0.json --current benchmark-results.json \
-        --threshold 0.25 --min-seconds 0.5
+        --current benchmark-results.json --threshold 0.25 --min-seconds 0.5
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
-from typing import Dict
+from pathlib import Path
+from typing import Dict, Optional
+
+_BASELINE_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def latest_baseline(directory: str) -> Optional[str]:
+    """Path of the highest-numbered ``BENCH_<n>.json`` in ``directory``."""
+    best: Optional[Path] = None
+    best_number = -1
+    for candidate in Path(directory).iterdir():
+        match = _BASELINE_PATTERN.match(candidate.name)
+        if match and int(match.group(1)) > best_number:
+            best_number = int(match.group(1))
+            best = candidate
+    return None if best is None else str(best)
 
 
 def load_medians(path: str) -> Dict[str, float]:
@@ -34,7 +57,17 @@ def load_medians(path: str) -> Dict[str, float]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True, help="recorded baseline JSON")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="recorded baseline JSON (default: auto-select the highest-"
+        "numbered BENCH_<n>.json in --baseline-dir)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=".",
+        help="directory scanned for BENCH_<n>.json when --baseline is omitted",
+    )
     parser.add_argument("--current", required=True, help="fresh benchmark run JSON")
     parser.add_argument(
         "--threshold",
@@ -50,7 +83,18 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_medians(args.baseline)
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = latest_baseline(args.baseline_dir)
+        if baseline_path is None:
+            print(
+                f"error: no BENCH_<n>.json baseline found in {args.baseline_dir!r}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"auto-selected baseline: {baseline_path}")
+
+    baseline = load_medians(baseline_path)
     current = load_medians(args.current)
 
     regressions = []
@@ -74,7 +118,7 @@ def main(argv=None) -> int:
         print(f"note: {name} has no baseline (skipped)")
 
     print(
-        f"compared {compared} benchmarks against {args.baseline}: "
+        f"compared {compared} benchmarks against {baseline_path}: "
         f"{improvements} faster, {len(regressions)} regressed beyond "
         f"+{args.threshold:.0%}"
     )

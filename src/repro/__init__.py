@@ -79,11 +79,20 @@ from repro.indexing import (
     RangeMatch,
     DistanceCounter,
     CountingDistance,
+    IndexStats,
     LinearScanIndex,
     ReferenceNet,
     CoverTree,
     ReferenceIndex,
     VPTree,
+)
+from repro.storage import (
+    save_database,
+    load_database,
+    save_windows,
+    load_windows,
+    save_matcher,
+    load_matcher,
 )
 from repro.core import (
     MatcherConfig,
@@ -154,6 +163,7 @@ __all__ = [
     "RangeMatch",
     "DistanceCounter",
     "CountingDistance",
+    "IndexStats",
     "LinearScanIndex",
     "ReferenceNet",
     "CoverTree",
@@ -175,4 +185,11 @@ __all__ = [
     "brute_force_matches",
     "brute_force_longest",
     "brute_force_nearest",
+    # storage
+    "save_database",
+    "load_database",
+    "save_windows",
+    "load_windows",
+    "save_matcher",
+    "load_matcher",
 ]

@@ -7,7 +7,12 @@ public so users can run the same analyses on their own data.
 from repro.analysis.distributions import DistanceDistribution, distance_distribution
 from repro.analysis.pruning import PruningResult, measure_pruning, compare_indexes
 from repro.analysis.space import SpacePoint, space_overhead_curve
-from repro.analysis.reporting import format_table, format_histogram
+from repro.analysis.reporting import (
+    format_table,
+    format_histogram,
+    format_index_stats,
+    format_query_stats,
+)
 
 __all__ = [
     "DistanceDistribution",
@@ -19,4 +24,6 @@ __all__ = [
     "space_overhead_curve",
     "format_table",
     "format_histogram",
+    "format_index_stats",
+    "format_query_stats",
 ]

@@ -13,6 +13,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.queries import QueryStats
+    from repro.indexing.base import MetricIndex
 
 
 def format_table(
@@ -77,6 +78,29 @@ def format_query_stats(stats: "QueryStats", title: Optional[str] = None) -> str:
         rows.append(["passes (radius sweep)", len(stats.passes)])
         per_pass = ", ".join(str(p.segment_matches) for p in stats.passes)
         rows.append(["segment matches per pass", per_pass])
+    return format_table(["quantity", "value"], rows, title=title)
+
+
+def format_index_stats(index: "MetricIndex", title: Optional[str] = None) -> str:
+    """Render an index's incremental-update accounting as a table.
+
+    This is what the CLI's ``repro add`` and ``repro snapshot`` commands
+    print: the index's size, its documented staleness/rebuild policy, the
+    :class:`~repro.indexing.stats.IndexStats` counters, and whether the
+    structure is currently stale (i.e. the next query will rebuild first).
+    """
+    stats = index.update_stats
+    rows: List[List[object]] = [
+        ["index", index.index_name],
+        ["stored items", len(index)],
+        ["incremental inserts", stats.inserts],
+        ["incremental deletes", stats.deletes],
+        ["bulk rebuilds", stats.rebuilds],
+        ["pending updates since build", stats.pending_updates],
+        ["last rebuild reason", stats.last_rebuild_reason or "-"],
+        ["stale (rebuilds on next query)", "yes" if index.is_stale else "no"],
+        ["staleness policy", index.staleness_policy],
+    ]
     return format_table(["quantity", "value"], rows, title=title)
 
 

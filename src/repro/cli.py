@@ -6,7 +6,16 @@ Commands
     Generate a synthetic dataset (proteins / songs / traj) and save it.
 ``search``
     Run a Type II (longest similar subsequence) query of a saved database
-    against a query cut from it, printing the match.
+    against a query cut from it, printing the match.  With ``--snapshot``
+    the positional path is a matcher snapshot (see ``snapshot``) and the
+    query runs immediately, with zero index-rebuild work.
+``snapshot``
+    Build a matcher over a saved database and persist the *built* state
+    (index structure, distance cache) as a versioned snapshot.
+``add``
+    Generate new sequences and add them to a saved snapshot *incrementally*
+    -- windows are inserted into the persisted index without a rebuild --
+    then write the snapshot back in place.
 ``distribution``
     Print the pairwise window distance distribution of a dataset
     (the paper's Figure 4 for one dataset/distance pairing).
@@ -23,7 +32,12 @@ from typing import List, Optional
 
 from repro.analysis.distributions import distance_distribution
 from repro.analysis.pruning import compare_indexes
-from repro.analysis.reporting import format_histogram, format_query_stats, format_table
+from repro.analysis.reporting import (
+    format_histogram,
+    format_index_stats,
+    format_query_stats,
+    format_table,
+)
 from repro.core.config import MatcherConfig
 from repro.core.matcher import SubsequenceMatcher
 from repro.datasets.loaders import dataset_distance, dataset_windows, load_dataset
@@ -35,7 +49,12 @@ from repro.indexing.cover_tree import CoverTree
 from repro.indexing.linear_scan import LinearScanIndex
 from repro.indexing.reference_based import ReferenceIndex
 from repro.indexing.reference_net import ReferenceNet
-from repro.storage.persistence import load_database, save_database
+from repro.storage.persistence import (
+    load_database,
+    load_matcher,
+    save_database,
+    save_matcher,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,7 +71,11 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
 
     search = subparsers.add_parser("search", help="run a Type II query against a saved database")
-    search.add_argument("database", help="database .npz produced by 'generate'")
+    search.add_argument(
+        "database",
+        help="database .npz produced by 'generate' (or a matcher snapshot "
+        "produced by 'snapshot' when --snapshot is given)",
+    )
     search.add_argument("--dataset", choices=["proteins", "songs", "traj"], required=True)
     search.add_argument("--distance", default=None, help="distance name (defaults per dataset)")
     search.add_argument("--radius", type=float, default=5.0)
@@ -64,6 +87,44 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the QueryStats table (pruning ratio, cache hits, "
         "prefilter counts, per-stage timings)",
+    )
+    search.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="treat the positional path as a matcher snapshot: the matcher "
+        "(config, index structure, distance cache) loads ready-built, so "
+        "--min-length/--max-shift are taken from the snapshot",
+    )
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="build a matcher and persist its built index state"
+    )
+    snapshot.add_argument("database", help="database .npz produced by 'generate'")
+    snapshot.add_argument("output", help="output snapshot .npz path")
+    snapshot.add_argument("--dataset", choices=["proteins", "songs", "traj"], required=True)
+    snapshot.add_argument("--distance", default=None, help="distance name (defaults per dataset)")
+    snapshot.add_argument("--min-length", type=int, default=40)
+    snapshot.add_argument("--max-shift", type=int, default=2)
+    snapshot.add_argument(
+        "--index",
+        choices=["reference-net", "cover-tree", "reference-based", "vp-tree", "linear-scan"],
+        default="reference-net",
+    )
+
+    add = subparsers.add_parser(
+        "add", help="incrementally add generated sequences to a matcher snapshot"
+    )
+    add.add_argument("snapshot", help="matcher snapshot .npz produced by 'snapshot'")
+    add.add_argument("--dataset", choices=["proteins", "songs", "traj"], required=True)
+    add.add_argument(
+        "--windows", type=int, default=20, help="approximate window count of the new data"
+    )
+    add.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help="generation seed; also namespaces the new sequence ids, so use "
+        "a fresh value per invocation",
     )
 
     distribution = subparsers.add_parser(
@@ -100,18 +161,28 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _generate_query(dataset: str, database, seed: int):
+    if dataset == "proteins":
+        return generate_protein_query(database, seed=seed)
+    if dataset == "songs":
+        return generate_song_query(database, seed=seed)
+    return generate_trajectory_query(database, seed=seed)
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
-    database = load_database(args.database)
-    distance_name = _default_distance(args.dataset, args.distance)
-    distance = dataset_distance(args.dataset, distance_name)
-    if args.dataset == "proteins":
-        query, source_id, offset = generate_protein_query(database, seed=args.seed)
-    elif args.dataset == "songs":
-        query, source_id, offset = generate_song_query(database, seed=args.seed)
+    if args.snapshot:
+        distance = None
+        if args.distance is not None:
+            distance = dataset_distance(args.dataset, args.distance)
+        matcher = load_matcher(args.database, distance=distance)
+        database = matcher.database
     else:
-        query, source_id, offset = generate_trajectory_query(database, seed=args.seed)
-    config = MatcherConfig(min_length=args.min_length, max_shift=args.max_shift)
-    matcher = SubsequenceMatcher(database, distance, config)
+        database = load_database(args.database)
+        distance_name = _default_distance(args.dataset, args.distance)
+        distance = dataset_distance(args.dataset, distance_name)
+        config = MatcherConfig(min_length=args.min_length, max_shift=args.max_shift)
+        matcher = SubsequenceMatcher(database, distance, config)
+    query, source_id, offset = _generate_query(args.dataset, database, args.seed)
     match = matcher.longest_similar(query, args.radius)
     print(f"query cut from {source_id!r} at offset {offset}")
     if match is None:
@@ -127,6 +198,39 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if args.stats:
         print()
         print(format_query_stats(matcher.last_query_stats, title="query statistics"))
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    database = load_database(args.database)
+    distance_name = _default_distance(args.dataset, args.distance)
+    distance = dataset_distance(args.dataset, distance_name)
+    config = MatcherConfig(
+        min_length=args.min_length, max_shift=args.max_shift, index=args.index
+    )
+    matcher = SubsequenceMatcher(database, distance, config)
+    save_matcher(matcher, args.output)
+    print(
+        f"wrote matcher snapshot ({len(matcher.windows)} windows, "
+        f"distance {distance_name!r}, index {args.index!r}) to {args.output}"
+    )
+    print(format_index_stats(matcher.index, title="index state"))
+    return 0
+
+
+def _cmd_add(args: argparse.Namespace) -> int:
+    matcher = load_matcher(args.snapshot)
+    fresh = load_dataset(args.dataset, num_windows=args.windows, seed=args.seed)
+    windows_before = len(matcher.windows)
+    for position, sequence in enumerate(fresh):
+        matcher.add_sequence(sequence, seq_id=f"added-{args.seed}-{position}")
+    save_matcher(matcher, args.snapshot)
+    print(
+        f"incrementally added {len(fresh)} sequences "
+        f"({len(matcher.windows) - windows_before} windows) and updated "
+        f"{args.snapshot} in place"
+    )
+    print(format_index_stats(matcher.index, title="index state after update"))
     return 0
 
 
@@ -195,6 +299,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "search": _cmd_search,
+        "snapshot": _cmd_snapshot,
+        "add": _cmd_add,
         "distribution": _cmd_distribution,
         "compare-indexes": _cmd_compare_indexes,
     }

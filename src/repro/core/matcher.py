@@ -48,10 +48,36 @@ from repro.indexing.reference_net import ReferenceNet
 from repro.indexing.vp_tree import VPTree
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.sequence import Sequence
-from repro.sequences.windows import Window
+from repro.sequences.windows import Window, tumbling_windows
 
 #: A query specification accepted by :meth:`SubsequenceMatcher.batch_query`.
 QuerySpec = Union[RangeQuery, LongestSubsequenceQuery, NearestSubsequenceQuery, float]
+
+
+def build_index(config: MatcherConfig, distance: Distance, cache: DistanceCache) -> MetricIndex:
+    """Instantiate the (empty) metric index ``config.index`` selects.
+
+    Shared by :meth:`SubsequenceMatcher.refresh` and the snapshot loader
+    (:func:`repro.storage.persistence.load_matcher`), which restores the
+    built structure into the empty index instead of re-adding windows.
+    """
+    name = config.index
+    if name == "reference-net":
+        return ReferenceNet(
+            distance,
+            eps_prime=config.eps_prime,
+            nummax=config.nummax,
+            cache=cache,
+        )
+    if name == "cover-tree":
+        return CoverTree(distance, eps_prime=config.eps_prime, cache=cache)
+    if name == "reference-based":
+        return ReferenceIndex(distance, num_references=config.num_references, cache=cache)
+    if name == "vp-tree":
+        return VPTree(distance, cache=cache)
+    if name == "linear-scan":
+        return LinearScanIndex(distance, cache=cache, prefilter=config.prefilter)
+    raise ConfigurationError(f"unknown index {name!r}")  # pragma: no cover
 
 
 class SubsequenceMatcher:
@@ -62,8 +88,10 @@ class SubsequenceMatcher:
     database:
         The sequences to search.  The database is *snapshotted* at
         construction: steps 1-2 (windowing and index construction) run once
-        here; sequences added to the database afterwards are not visible
-        until :meth:`refresh` is called.
+        here; sequences added directly to the database afterwards are not
+        visible until :meth:`refresh` is called.  Prefer the incremental
+        :meth:`add_sequence` / :meth:`remove_sequence`, which keep the
+        database and the built index in lockstep without a rebuild.
     distance:
         The distance measure.  It must be consistent (the framework's
         filtering relies on Lemma 1-3); it must additionally be a metric
@@ -107,6 +135,22 @@ class SubsequenceMatcher:
         config: MatcherConfig,
         cache: Optional[DistanceCache] = None,
     ) -> None:
+        self._init_core(database, distance, config, cache)
+        self.refresh()
+
+    def _init_core(
+        self,
+        database: SequenceDatabase,
+        distance: Distance,
+        config: MatcherConfig,
+        cache: Optional[DistanceCache],
+    ) -> None:
+        """Validate inputs and set up every field except windows/index/pipeline.
+
+        Split out of ``__init__`` so :meth:`_restore` (the snapshot loader's
+        entry point) can construct a matcher whose offline steps come from
+        disk instead of :meth:`refresh`.
+        """
         if not distance.is_consistent:
             raise ConfigurationError(
                 f"distance {distance.name!r} is not consistent; the framework's "
@@ -132,55 +176,151 @@ class SubsequenceMatcher:
         self._windows_by_key: Dict[tuple, Window] = {}
         self._index: Optional[MetricIndex] = None
         self._pipeline: Optional[QueryPipeline] = None
-        self.refresh()
 
-    # ------------------------------------------------------------------ #
-    # Steps 1-2: offline preprocessing
-    # ------------------------------------------------------------------ #
-    def refresh(self) -> None:
-        """(Re)run the offline steps: window partitioning and index build."""
-        if self._owns_cache:
-            self.distance_cache.clear()
-        self._windows = partition_database(self.database, self.config)
+    @classmethod
+    def _restore(
+        cls,
+        database: SequenceDatabase,
+        distance: Distance,
+        config: MatcherConfig,
+        cache: Optional[DistanceCache],
+        windows: List[Window],
+        index: MetricIndex,
+    ) -> "SubsequenceMatcher":
+        """Assemble a matcher around an already-built index (snapshot load).
+
+        Performs the same validation as the public constructor but skips
+        :meth:`refresh` entirely: ``windows`` and ``index`` come from a
+        snapshot, so the restored matcher answers queries immediately with
+        zero rebuild work.
+        """
+        matcher = cls.__new__(cls)
+        matcher._init_core(database, distance, config, cache)
+        matcher._adopt(windows, index)
+        return matcher
+
+    def _adopt(self, windows: List[Window], index: MetricIndex) -> None:
+        """Install windows and a built index, then rebuild the pipeline."""
+        self._windows = list(windows)
         self._windows_by_key = {window.key: window for window in self._windows}
-        self._index = self._build_index()
-        for window in self._windows:
-            self._index.add(window.sequence, key=window.key)
-        if isinstance(self._index, (ReferenceIndex, VPTree)):
-            self._index.build()
+        self._index = index
         self._pipeline = QueryPipeline(
             database=self.database,
             distance=self.distance,
             config=self.config,
             index=self._index,
             windows_by_key=self._windows_by_key,
-            window_count=len(self._windows),
             cache=self.distance_cache,
         )
 
+    # ------------------------------------------------------------------ #
+    # Steps 1-2: offline preprocessing
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> None:
+        """(Re)run the offline steps: window partitioning and index build.
+
+        This is the batch path; :meth:`add_sequence` / :meth:`remove_sequence`
+        apply the same steps incrementally without discarding the built
+        index (or, when the matcher owns it, the distance cache).
+        """
+        if self._owns_cache:
+            self.distance_cache.clear()
+        windows = partition_database(self.database, self.config)
+        index = self._build_index()
+        for window in windows:
+            index.add(window.sequence, key=window.key)
+        if isinstance(index, (ReferenceIndex, VPTree)):
+            index.build()
+        self._adopt(windows, index)
+
     def _build_index(self) -> MetricIndex:
-        name = self.config.index
-        cache = self.distance_cache
-        if name == "reference-net":
-            return ReferenceNet(
-                self.distance,
-                eps_prime=self.config.eps_prime,
-                nummax=self.config.nummax,
-                cache=cache,
+        return build_index(self.config, self.distance, self.distance_cache)
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates (no full refresh)
+    # ------------------------------------------------------------------ #
+    def add_sequence(self, sequence: Sequence, seq_id: Optional[str] = None) -> str:
+        """Add ``sequence`` to the database *and* the live matcher state.
+
+        The incremental counterpart of adding to the database and calling
+        :meth:`refresh`: the new sequence is windowed (step 1) and its
+        windows are inserted into the built index through the index's
+        incremental :meth:`~repro.indexing.base.MetricIndex.insert` path,
+        so the cost is proportional to the new windows, not the database.
+        Queries issued afterwards return exactly what a freshly rebuilt
+        matcher would return (the pipeline's canonical probe order makes
+        this hold for every index class, whatever its staleness policy).
+
+        Returns the id the database assigned to the sequence.
+        """
+        key = self.database.add(sequence, seq_id)
+        added = list(
+            tumbling_windows(
+                self.database[key], self.config.window_length, source_id=key
             )
-        if name == "cover-tree":
-            return CoverTree(self.distance, eps_prime=self.config.eps_prime, cache=cache)
-        if name == "reference-based":
-            return ReferenceIndex(
-                self.distance, num_references=self.config.num_references, cache=cache
+        )
+        for window in added:
+            self._windows.append(window)
+            self._windows_by_key[window.key] = window
+            self.pipeline.note_window_added(window.key)
+            self.index.insert(window.sequence, key=window.key)
+        return key
+
+    def remove_sequence(self, seq_id: str) -> Sequence:
+        """Remove a sequence from the database and the live matcher state.
+
+        Every window cut from the sequence is deleted from the built index
+        through its incremental :meth:`~repro.indexing.base.MetricIndex.delete`
+        path.  Cache entries involving the removed windows are left in
+        place: the cache is content-keyed, so they stay correct (and useful
+        if equal content is ever re-added) and are evicted by capacity like
+        any other entry.
+
+        Returns the removed sequence.
+        """
+        sequence = self.database.remove(seq_id)
+        removed = [window for window in self._windows if window.source_id == seq_id]
+        self._windows = [window for window in self._windows if window.source_id != seq_id]
+        for window in removed:
+            del self._windows_by_key[window.key]
+            self.pipeline.note_window_removed(window.key)
+            self.index.delete(window.key)
+        return sequence
+
+    def check_incremental_invariants(
+        self, queries: List[Sequence], spec: QuerySpec
+    ) -> None:
+        """Assert this matcher answers ``queries`` like a fresh rebuild would.
+
+        Builds a throwaway matcher over the same database with the same
+        configuration (and a private cache), runs every query through both,
+        and raises :class:`~repro.exceptions.QueryError` on the first
+        divergence.  This is the executable form of the incremental-update
+        contract; the test-suite's property tests drive it across index
+        classes and update interleavings.
+        """
+        def identity(result):
+            if result is None:
+                return None
+            if isinstance(result, SubsequenceMatch):
+                return (
+                    result.distance,
+                    result.source_id,
+                    result.query_start,
+                    result.query_stop,
+                    result.db_start,
+                    result.db_stop,
+                )
+            return [identity(match) for match in result]
+
+        rebuilt = SubsequenceMatcher(self.database, self.distance, self.config)
+        mine = [identity(result) for result in self.batch_query(queries, spec)]
+        theirs = [identity(result) for result in rebuilt.batch_query(queries, spec)]
+        if mine != theirs:
+            raise QueryError(
+                "incremental matcher diverged from a fresh rebuild: "
+                f"{mine!r} != {theirs!r}"
             )
-        if name == "vp-tree":
-            return VPTree(self.distance, cache=cache)
-        if name == "linear-scan":
-            return LinearScanIndex(
-                self.distance, cache=cache, prefilter=self.config.prefilter
-            )
-        raise ConfigurationError(f"unknown index {name!r}")  # pragma: no cover
 
     @property
     def index(self) -> MetricIndex:

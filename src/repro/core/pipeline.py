@@ -89,7 +89,6 @@ class QueryPipeline:
         config: MatcherConfig,
         index: MetricIndex,
         windows_by_key: dict,
-        window_count: int,
         cache: Optional[DistanceCache] = None,
     ) -> None:
         self.database = database
@@ -97,9 +96,34 @@ class QueryPipeline:
         self.config = config
         self.index = index
         self._windows_by_key = windows_by_key
-        self._window_count = window_count
         self.cache = cache
         self._segment_memo: Optional[Tuple[Sequence, List[Window]]] = None
+        # Monotonic insertion stamps backing the canonical probe order.
+        # Maintained incrementally through note_window_added/removed so the
+        # hot path never pays an O(windows) rebuild; relative order is all
+        # the sort needs, so deletions simply drop their stamp.
+        self._window_order = {key: stamp for stamp, key in enumerate(windows_by_key)}
+        self._next_window_stamp = len(self._window_order)
+
+    def note_window_added(self, key) -> None:
+        """Record a window appended by the matcher's incremental update path."""
+        self._window_order[key] = self._next_window_stamp
+        self._next_window_stamp += 1
+
+    def note_window_removed(self, key) -> None:
+        """Forget a window deleted by the matcher's incremental update path."""
+        del self._window_order[key]
+
+    @property
+    def window_count(self) -> int:
+        """Number of database windows currently indexed.
+
+        Computed live from the shared window dictionary (the matcher mutates
+        it in place on :meth:`~repro.core.matcher.SubsequenceMatcher.add_sequence`
+        / ``remove_sequence``), so the naive-cost denominator in the stats
+        always reflects the database the query actually ran against.
+        """
+        return len(self._windows_by_key)
 
     # ------------------------------------------------------------------ #
     # Stage: segment (step 3)
@@ -123,7 +147,7 @@ class QueryPipeline:
         segments = self.segments_for(query)
         stats.stage_timings["segment"] = time.perf_counter() - started
         stats.segments_extracted = len(segments)
-        stats.naive_distance_computations = len(segments) * self._window_count
+        stats.naive_distance_computations = len(segments) * self.window_count
 
         counter = self.index.counter
         counter.checkpoint()
@@ -131,9 +155,18 @@ class QueryPipeline:
         per_segment = self.index.batch_range_query(
             [segment.sequence for segment in segments], radius
         )
+        # Canonical match order: hits within a segment are sorted by window
+        # insertion order, so the (segment, window) pairs -- and everything
+        # chaining and verification derive from them -- are identical no
+        # matter which index class produced them or how its internal
+        # topology evolved through incremental updates.  This is the
+        # invariant the incremental-vs-rebuild and snapshot guarantees rest
+        # on; for the linear scan and the reference index it is a no-op
+        # (they already enumerate items in insertion order).
+        window_order = self._window_order
         matches: List[SegmentMatch] = []
         for segment, hits in zip(segments, per_segment):
-            for hit in hits:
+            for hit in sorted(hits, key=lambda hit: window_order[hit.key]):
                 window = self._windows_by_key[hit.key]
                 matches.append(
                     SegmentMatch(

@@ -24,7 +24,7 @@ cutoff at most ``c`` without recomputing.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.sequences.sequence import Sequence
 
@@ -128,9 +128,36 @@ class DistanceCache:
             if existing is not None and (existing[1] or existing[0] >= cutoff):
                 return
             self._entries[key] = (float(cutoff), False)
+        self._evict_overflow()
+
+    def _evict_overflow(self) -> None:
+        """Drop oldest entries until the capacity bound holds again."""
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 self._entries.pop(next(iter(self._entries)))
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support
+    # ------------------------------------------------------------------ #
+    def iter_entries(self) -> Iterator[Tuple[Sequence, Sequence, float, bool]]:
+        """Yield ``(first, second, value, exact)`` in insertion order.
+
+        Insertion order *is* eviction order, so a consumer that replays the
+        stream through :meth:`seed` reproduces not just the contents but the
+        future eviction behaviour of a bounded cache.
+        """
+        for (first, second), (value, exact) in self._entries.items():
+            yield first, second, value, exact
+
+    def seed(self, first: Sequence, second: Sequence, value: float, exact: bool = True) -> None:
+        """Install one entry directly (snapshot restore), respecting capacity.
+
+        Unlike :meth:`store` this bypasses the exact/bound bookkeeping: the
+        caller asserts the entry is precisely what a live cache held (for a
+        bound entry, ``value`` is the cutoff the kernel abandoned at).
+        """
+        self._entries[(first, second)] = (float(value), bool(exact))
+        self._evict_overflow()
 
     def __repr__(self) -> str:
         return (

@@ -20,7 +20,7 @@ paper's Figures 8-11 report.
 """
 
 from repro.indexing.base import MetricIndex, RangeMatch
-from repro.indexing.stats import DistanceCounter, CountingDistance
+from repro.indexing.stats import DistanceCounter, CountingDistance, IndexStats
 from repro.indexing.linear_scan import LinearScanIndex
 from repro.indexing.reference_net import ReferenceNet
 from repro.indexing.cover_tree import CoverTree
@@ -32,6 +32,7 @@ __all__ = [
     "RangeMatch",
     "DistanceCounter",
     "CountingDistance",
+    "IndexStats",
     "LinearScanIndex",
     "ReferenceNet",
     "CoverTree",

@@ -27,7 +27,7 @@ import numpy as np
 from repro.distances.base import Distance, SequenceLike
 from repro.distances.cache import DistanceCache
 from repro.exceptions import DistanceError, IndexError_
-from repro.indexing.stats import CountingDistance, DistanceCounter
+from repro.indexing.stats import CountingDistance, DistanceCounter, IndexStats
 
 
 @dataclass(frozen=True)
@@ -85,6 +85,11 @@ class MetricIndex(abc.ABC):
     #: Human-readable index name used in reports and benchmarks.
     index_name: str = "index"
 
+    #: Human-readable description of how the index absorbs incremental
+    #: updates (:meth:`insert` / :meth:`delete`) and when -- if ever -- it
+    #: falls back to a bulk rebuild.  Subclasses override this.
+    staleness_policy: str = "fully incremental; never rebuilds"
+
     def __init__(
         self,
         distance: Distance,
@@ -100,6 +105,8 @@ class MetricIndex(abc.ABC):
             )
         self._counting = CountingDistance(distance, counter, cache, prefilter=prefilter)
         self._items: dict = {}
+        #: Incremental-update accounting (inserts, deletes, rebuilds).
+        self.update_stats = IndexStats()
 
     # ------------------------------------------------------------------ #
     # Accounting and common accessors
@@ -197,6 +204,116 @@ class MetricIndex(abc.ABC):
         one at a time.
         """
         return [self.range_query(query, radius) for query in queries]
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates (insert / delete, with a staleness policy)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_stale(self) -> bool:
+        """Whether the structure needs a rebuild before the next query.
+
+        A stale index still answers queries correctly -- the implementations
+        rebuild lazily on the next query -- but a snapshot of a stale index
+        cannot promise the "zero rebuild on load" property.  Indexes without
+        a bulk build step are never stale.
+        """
+        return False
+
+    def insert(self, item: object, key: Optional[Hashable] = None) -> Hashable:
+        """Insert ``item`` *incrementally*: extend the built structure in place.
+
+        Unlike :meth:`add` (the bulk-load primitive, which some indexes
+        merely buffer until the next :meth:`build`), ``insert`` keeps the
+        index queryable without a full rebuild, recording the operation in
+        :attr:`update_stats` and applying the index's documented
+        ``staleness_policy`` (e.g. "tolerate N pending updates, then
+        rebuild on the next query").
+        """
+        rebuilds_before = self.update_stats.rebuilds
+        key = self._insert_incremental(item, key)
+        self.update_stats.record_insert()
+        if self.update_stats.rebuilds > rebuilds_before:
+            # The operation itself triggered an eager rebuild, which already
+            # absorbed this update -- do not leave it counted as pending.
+            self.update_stats.pending_updates = 0
+        self._apply_staleness_policy()
+        return key
+
+    def delete(self, key: Hashable) -> object:
+        """Remove the item under ``key`` incrementally; see :meth:`insert`."""
+        rebuilds_before = self.update_stats.rebuilds
+        item = self._delete_incremental(key)
+        self.update_stats.record_delete()
+        if self.update_stats.rebuilds > rebuilds_before:
+            # An eager rebuild (e.g. a root deletion) absorbed this update.
+            self.update_stats.pending_updates = 0
+        self._apply_staleness_policy()
+        return item
+
+    def _insert_incremental(self, item: object, key: Optional[Hashable]) -> Hashable:
+        """Subclass hook: genuinely incremental insertion.
+
+        The default delegates to :meth:`add`, which is already incremental
+        for the linear scan, the reference net, and the cover tree; indexes
+        whose :meth:`add` defers to a bulk rebuild (the vp-tree) override
+        this.
+        """
+        return self.add(item, key)
+
+    def _delete_incremental(self, key: Hashable) -> object:
+        """Subclass hook: genuinely incremental deletion (default: :meth:`remove`)."""
+        return self.remove(key)
+
+    def _apply_staleness_policy(self) -> None:
+        """Subclass hook: decide, after an update, whether to go stale."""
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support (structure export / restore without recomputation)
+    # ------------------------------------------------------------------ #
+    def export_structure(self) -> dict:
+        """JSON-serializable structural state of the built index.
+
+        The returned dictionary always carries ``keys`` (the stored keys in
+        iteration order -- which *is* semantically meaningful: probe results
+        and therefore downstream accounting depend on it) and the
+        :class:`~repro.indexing.stats.IndexStats` counters; subclasses add
+        their built state (reference vectors, tree topology, ...) through
+        :meth:`_export_structure`, referencing items by their position in
+        ``keys``.  Payloads themselves are *not* included -- the caller
+        (:func:`repro.storage.persistence.save_matcher`) persists them once
+        and hands them back to :meth:`restore_structure`.
+        """
+        state = {
+            "keys": list(self._items.keys()),
+            "update_stats": self.update_stats.as_dict(),
+        }
+        state.update(self._export_structure())
+        return state
+
+    def restore_structure(self, state: dict, payloads: dict) -> None:
+        """Rebuild the in-memory structure from :meth:`export_structure` output.
+
+        ``payloads`` maps every key in ``state["keys"]`` to its stored item.
+        Restoration performs **no distance computations**: reference
+        vectors, link distances, and tree thresholds all come back from the
+        snapshot, which is what lets a loaded matcher answer queries
+        immediately.
+        """
+        try:
+            self._items = {key: payloads[key] for key in state["keys"]}
+        except KeyError as error:
+            raise IndexError_(
+                f"snapshot references key {error.args[0]!r} with no stored payload"
+            ) from None
+        self.update_stats = IndexStats.from_dict(state.get("update_stats", {}))
+        self._restore_structure(state)
+
+    def _export_structure(self) -> dict:
+        """Subclass hook: built state beyond the item order (default: none)."""
+        return {}
+
+    def _restore_structure(self, state: dict) -> None:
+        """Subclass hook: inverse of :meth:`_export_structure`."""
 
     # ------------------------------------------------------------------ #
     # Conveniences shared by every implementation

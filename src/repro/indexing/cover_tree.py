@@ -58,6 +58,15 @@ class CoverTree(MetricIndex):
 
     index_name = "cover-tree"
 
+    #: The insertion algorithm is incremental by construction and deletion
+    #: re-inserts the removed node's subtree, so the tree is never stale;
+    #: the one exception is removing the root, which (exactly like the
+    #: reference net's Algorithm 2) rebuilds the structure eagerly.
+    staleness_policy = (
+        "fully incremental (single-parent covering insert, subtree "
+        "re-insertion on delete); root deletion rebuilds eagerly"
+    )
+
     def __init__(
         self,
         distance: Distance,
@@ -146,6 +155,7 @@ class CoverTree(MetricIndex):
             self._max_level = 1
             for other_key, other_item in remaining:
                 self.add(other_item, other_key)
+            self.update_stats.record_rebuild("root deletion")
             return item
 
         del self._nodes[key]
@@ -209,6 +219,49 @@ class CoverTree(MetricIndex):
             for _, child in current.iter_children():
                 matches.append(RangeMatch(child.key, child.item, None))
                 stack.append(child)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support
+    # ------------------------------------------------------------------ #
+    def _export_structure(self) -> dict:
+        keys = list(self._items.keys())
+        position = {key: index for index, key in enumerate(keys)}
+        nodes = []
+        for key in keys:
+            node = self._nodes[key]
+            # Children flattened with both the level-dict order and the
+            # within-level list order preserved: traversal order -- and
+            # therefore downstream match order -- depends on them.
+            children = [
+                [level, [position[child.key] for child in kids]]
+                for level, kids in node.children.items()
+            ]
+            nodes.append({"home_level": node.home_level, "children": children})
+        return {
+            "max_level": self._max_level,
+            "root_position": position[self._root.key] if self._root is not None else None,
+            "nodes": nodes,
+        }
+
+    def _restore_structure(self, state: dict) -> None:
+        keys = list(self._items.keys())
+        records = state["nodes"]
+        nodes = [
+            _TreeNode(key, self._items[key], home_level=int(record["home_level"]))
+            for key, record in zip(keys, records)
+        ]
+        for record, parent in zip(records, nodes):
+            for level, child_positions in record["children"]:
+                level = int(level)
+                for child_position in child_positions:
+                    child = nodes[int(child_position)]
+                    child.parent = parent
+                    child.parent_level = level
+                    parent.children.setdefault(level, []).append(child)
+        self._nodes = {node.key: node for node in nodes}
+        self._max_level = int(state["max_level"])
+        root_position = state["root_position"]
+        self._root = None if root_position is None else nodes[int(root_position)]
 
     # ------------------------------------------------------------------ #
     # Statistics and invariants

@@ -45,6 +45,10 @@ class LinearScanIndex(MetricIndex):
 
     index_name = "linear-scan"
 
+    #: The scan keeps no structure beyond the item dict, so inserts and
+    #: deletes are plain dict operations and the index is never stale.
+    staleness_policy = "stateless scan; inserts/deletes are O(1), never rebuilds"
+
     def __init__(
         self,
         distance: Distance,

@@ -172,6 +172,18 @@ class ReferenceIndex(MetricIndex):
 
     index_name = "reference-based"
 
+    #: Inserts extend the distance matrix against the *current* references
+    #: in place; the references themselves are only re-elected (a bulk
+    #: rebuild, lazily on the next query) once the updates absorbed since
+    #: the last election exceed ``reelect_after`` -- stale references never
+    #: threaten correctness (the triangle-inequality bounds stay admissible
+    #: for any reference set), only pruning power.
+    staleness_policy = (
+        "inserts/deletes absorbed against current references; re-elects "
+        "references after `reelect_after` pending updates (default "
+        "max(16, n/4) at build time), lazily on the next query"
+    )
+
     def __init__(
         self,
         distance: Distance,
@@ -181,19 +193,26 @@ class ReferenceIndex(MetricIndex):
         selection_sample_size: int = 200,
         rng: Optional[np.random.Generator] = None,
         cache: Optional[DistanceCache] = None,
+        reelect_after: Optional[int] = None,
     ) -> None:
         super().__init__(distance, counter, require_metric=True, cache=cache)
         if num_references < 1:
             raise IndexError_(f"num_references must be >= 1, got {num_references}")
+        if reelect_after is not None and reelect_after < 1:
+            raise IndexError_(f"reelect_after must be >= 1, got {reelect_after}")
         self.num_references = int(num_references)
         self.selector = selector
         self.selection_sample_size = int(selection_sample_size)
+        self.reelect_after = reelect_after
         self._rng = rng or np.random.default_rng(0)
         self._reference_keys: List[Hashable] = []
         self._reference_items: List[object] = []
         #: key -> vector of distances to the current references.
         self._item_vectors: Dict[Hashable, np.ndarray] = {}
         self._dirty = True
+        #: Pending-update budget before re-election, fixed at build time.
+        self._reelect_threshold: Optional[int] = reelect_after
+        self._stale_reason: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Content management
@@ -221,6 +240,20 @@ class ReferenceIndex(MetricIndex):
             self._dirty = True
         return item
 
+    @property
+    def is_stale(self) -> bool:
+        """True when the next query will re-elect references first."""
+        return self._dirty
+
+    def _apply_staleness_policy(self) -> None:
+        """Re-elect references once the pending-update budget is exhausted."""
+        if self._dirty or self._reelect_threshold is None:
+            return
+        pending = self.update_stats.pending_updates
+        if pending > self._reelect_threshold:
+            self._dirty = True
+            self._stale_reason = f"reference re-election after {pending} pending updates"
+
     def _vector(self, item: object, count_distance: bool) -> np.ndarray:
         values = np.empty(len(self._reference_items), dtype=np.float64)
         for index, reference in enumerate(self._reference_items):
@@ -236,11 +269,14 @@ class ReferenceIndex(MetricIndex):
         Construction-time distance computations are not charged to the
         query counter, mirroring how the paper reports query costs only.
         """
+        reason = self._stale_reason or "build"
+        self._stale_reason = None
         if not self._items:
             self._reference_keys = []
             self._reference_items = []
             self._item_vectors = {}
             self._dirty = False
+            self.update_stats.record_rebuild(reason)
             return
         keys = list(self._items.keys())
         items = [self._items[key] for key in keys]
@@ -262,6 +298,9 @@ class ReferenceIndex(MetricIndex):
             key: self._vector(self._items[key], count_distance=False) for key in keys
         }
         self._dirty = False
+        if self.reelect_after is None:
+            self._reelect_threshold = max(16, len(keys) // 4)
+        self.update_stats.record_rebuild(reason)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -337,6 +376,50 @@ class ReferenceIndex(MetricIndex):
                 self._filter_with_bounds(query, query_vector, reference_values, radius)
             )
         return results
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support
+    # ------------------------------------------------------------------ #
+    def _export_structure(self) -> dict:
+        keys = list(self._items.keys())
+        position = {key: index for index, key in enumerate(keys)}
+        # A dirty index re-elects references and recomputes every vector on
+        # its next query anyway, and its election state may reference items
+        # that no longer exist (a deleted reference marks the index dirty
+        # without clearing the stale list) -- persist only the dirty flag.
+        if self._dirty:
+            references: List[int] = []
+            vectors = None
+        else:
+            references = [position[key] for key in self._reference_keys]
+            # Vectors in key order; JSON floats round-trip exactly (repr).
+            vectors = [self._item_vectors[key].tolist() for key in keys]
+        return {
+            "dirty": self._dirty,
+            "reelect_threshold": self._reelect_threshold,
+            "reference_positions": references,
+            "vectors": vectors,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def _restore_structure(self, state: dict) -> None:
+        keys = list(self._items.keys())
+        self._dirty = bool(state["dirty"])
+        threshold = state["reelect_threshold"]
+        self._reelect_threshold = None if threshold is None else int(threshold)
+        self._reference_keys = [keys[position] for position in state["reference_positions"]]
+        self._reference_items = [self._items[key] for key in self._reference_keys]
+        vectors = state["vectors"]
+        if vectors is None:
+            self._item_vectors = {}
+        else:
+            self._item_vectors = {
+                key: np.asarray(vector, dtype=np.float64)
+                for key, vector in zip(keys, vectors)
+            }
+        if state.get("rng_state") is not None:
+            self._rng.bit_generator.state = state["rng_state"]
+        self._stale_reason = None
 
     # ------------------------------------------------------------------ #
     # Statistics

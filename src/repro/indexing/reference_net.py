@@ -123,6 +123,16 @@ class ReferenceNet(MetricIndex):
 
     index_name = "reference-net"
 
+    #: Algorithms 1 and 2 of the paper are already incremental: insertion
+    #: descends the hierarchy and deletion re-inserts orphaned nodes, so
+    #: the net never goes stale; the one exception is removing the root
+    #: reference, which rebuilds the structure eagerly (Algorithm 2's
+    #: special case).
+    staleness_policy = (
+        "fully incremental (Algorithm 1 insert, Algorithm 2 delete with "
+        "orphan re-insertion); root deletion rebuilds eagerly"
+    )
+
     def __init__(
         self,
         distance: Distance,
@@ -308,6 +318,7 @@ class ReferenceNet(MetricIndex):
         self._max_level = 1
         for key, item in items:
             self.add(item, key)
+        self.update_stats.record_rebuild("root deletion")
 
     # ------------------------------------------------------------------ #
     # Range query (Algorithm 3)
@@ -433,6 +444,61 @@ class ReferenceNet(MetricIndex):
                     continue
                 decided.add(child.key)
                 stack.append(child)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support
+    # ------------------------------------------------------------------ #
+    def _export_structure(self) -> dict:
+        keys = list(self._items.keys())
+        position = {key: index for index, key in enumerate(keys)}
+        nodes = []
+        for key in keys:
+            node = self._nodes[key]
+            # Children and parent links flattened with the level-dict order
+            # and within-list order preserved; the exact link distances ride
+            # along so the restored net prunes identically without
+            # recomputing anything (JSON floats round-trip exactly).
+            children = [
+                [level, [[position[child.key], link_distance] for child, link_distance in kids]]
+                for level, kids in node.children.items()
+            ]
+            parent_links = [
+                [level, position[parent.key]] for level, parent in node.parent_links
+            ]
+            nodes.append(
+                {
+                    "home_level": node.home_level,
+                    "children": children,
+                    "parent_links": parent_links,
+                }
+            )
+        return {
+            "max_level": self._max_level,
+            "root_position": position[self._root.key] if self._root is not None else None,
+            "nodes": nodes,
+        }
+
+    def _restore_structure(self, state: dict) -> None:
+        keys = list(self._items.keys())
+        records = state["nodes"]
+        nodes = [
+            _Node(key, self._items[key], home_level=int(record["home_level"]))
+            for key, record in zip(keys, records)
+        ]
+        for record, node in zip(records, nodes):
+            for level, entries in record["children"]:
+                node.children[int(level)] = [
+                    (nodes[int(child_position)], float(link_distance))
+                    for child_position, link_distance in entries
+                ]
+            node.parent_links = [
+                (int(level), nodes[int(parent_position)])
+                for level, parent_position in record["parent_links"]
+            ]
+        self._nodes = {node.key: node for node in nodes}
+        self._max_level = int(state["max_level"])
+        root_position = state["root_position"]
+        self._root = None if root_position is None else nodes[int(root_position)]
 
     # ------------------------------------------------------------------ #
     # Statistics and invariants

@@ -9,6 +9,12 @@ the baseline pool for the ablation benchmarks.
 
 The tree is built in bulk (:meth:`build`) because the classic structure is
 static; :meth:`add` simply marks the tree dirty and the next query rebuilds.
+The incremental entry points (:meth:`~repro.indexing.base.MetricIndex.insert`
+/ :meth:`~repro.indexing.base.MetricIndex.delete`) instead extend the built
+tree in place -- new items descend to a free inner/outer slot, deletions
+re-attach the removed node's subtree -- and a pending-update budget decides
+when the accumulated attachments have unbalanced the tree enough to warrant
+a bulk rebuild (lazily, on the next query).
 """
 
 from __future__ import annotations
@@ -53,17 +59,37 @@ class VPTree(MetricIndex):
 
     index_name = "vp-tree"
 
+    #: Incremental inserts descend the built tree and attach as leaves
+    #: (which preserves the shell invariants, hence correctness, but not
+    #: balance); deletions re-attach the removed node's subtree the same
+    #: way, and deleting the root vantage point schedules a rebuild.  After
+    #: ``rebuild_after`` pending updates (default max(16, n/2) at build
+    #: time) the tree re-balances with a bulk rebuild on the next query.
+    staleness_policy = (
+        "inserts attach as leaves, deletes re-attach the subtree; "
+        "re-balances after `rebuild_after` pending updates (default "
+        "max(16, n/2) at build time) or a root deletion, lazily on the "
+        "next query"
+    )
+
     def __init__(
         self,
         distance: Distance,
         counter: Optional[DistanceCounter] = None,
         rng: Optional[np.random.Generator] = None,
         cache: Optional[DistanceCache] = None,
+        rebuild_after: Optional[int] = None,
     ) -> None:
         super().__init__(distance, counter, require_metric=True, cache=cache)
+        if rebuild_after is not None and rebuild_after < 1:
+            raise IndexError_(f"rebuild_after must be >= 1, got {rebuild_after}")
         self._rng = rng or np.random.default_rng(0)
         self._root: Optional[_VPNode] = None
         self._dirty = True
+        self.rebuild_after = rebuild_after
+        #: Pending-update budget before a re-balance, fixed at build time.
+        self._rebuild_threshold: Optional[int] = rebuild_after
+        self._stale_reason: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Content management
@@ -93,6 +119,10 @@ class VPTree(MetricIndex):
         pairs = list(self._items.items())
         self._root = self._build(pairs)
         self._dirty = False
+        if self.rebuild_after is None:
+            self._rebuild_threshold = max(16, len(pairs) // 2)
+        self.update_stats.record_rebuild(self._stale_reason or "build")
+        self._stale_reason = None
 
     def _build(self, pairs: List[Tuple[Hashable, object]]) -> Optional[_VPNode]:
         if not pairs:
@@ -100,7 +130,7 @@ class VPTree(MetricIndex):
         pick = int(self._rng.integers(len(pairs)))
         key, item = pairs[pick]
         node = _VPNode(key, item)
-        rest = pairs[:pick] + pairs[pick + 1:]
+        rest = pairs[:pick] + pairs[pick + 1 :]
         if not rest:
             return node
         values = np.fromiter(
@@ -114,6 +144,163 @@ class VPTree(MetricIndex):
         node.inner = self._build(inner_pairs)
         node.outer = self._build(outer_pairs)
         return node
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates
+    # ------------------------------------------------------------------ #
+    @property
+    def is_stale(self) -> bool:
+        """True when the next query will bulk-rebuild the tree first."""
+        return self._dirty
+
+    def _apply_staleness_policy(self) -> None:
+        """Schedule a re-balance once the pending-update budget is exhausted."""
+        if self._dirty or self._rebuild_threshold is None:
+            return
+        pending = self.update_stats.pending_updates
+        if pending > self._rebuild_threshold:
+            self._dirty = True
+            self._stale_reason = f"re-balance after {pending} pending updates"
+
+    def _attach(self, key: Hashable, item: object) -> None:
+        """Descend from the root and attach ``(key, item)`` as a new leaf.
+
+        Routing follows the same rule the shells encode -- within the
+        threshold goes inner, beyond it goes outer -- so both subtree
+        invariants the range query prunes by keep holding.  Construction-
+        time distances are not charged to the query counter.
+        """
+        node = _VPNode(key, item)
+        if self._root is None:
+            self._root = node
+            return
+        current = self._root
+        while True:
+            value = self.distance(item, current.item)
+            if value <= current.threshold:
+                if current.inner is None:
+                    current.inner = node
+                    return
+                current = current.inner
+            else:
+                if current.outer is None:
+                    current.outer = node
+                    return
+                current = current.outer
+
+    def _insert_incremental(self, item: object, key: Optional[Hashable]) -> Hashable:
+        if key is None:
+            key = self._auto_key()
+        if key in self._items:
+            raise IndexError_(f"key {key!r} is already present")
+        self._items[key] = item
+        if not self._dirty:
+            self._attach(key, item)
+        return key
+
+    def _delete_incremental(self, key: Hashable) -> object:
+        try:
+            item = self._items.pop(key)
+        except KeyError:
+            raise IndexError_(f"no item with key {key!r} in this index") from None
+        if self._dirty:
+            return item
+        node, parent, side = self._find_with_parent(key)
+        assert node is not None  # _items membership guarantees presence
+        members: List[Tuple[Hashable, object]] = []
+        stack = [node.inner, node.outer]
+        while stack:
+            current = stack.pop()
+            if current is None:
+                continue
+            members.append((current.key, current.item))
+            stack.append(current.inner)
+            stack.append(current.outer)
+        if parent is None:
+            # The root is the vantage point of the whole tree: every stored
+            # distance relation involves it, so re-balance instead of
+            # guessing a replacement.
+            self._root = None
+            if members:
+                self._dirty = True
+                self._stale_reason = "root deletion"
+            return item
+        setattr(parent, side, None)
+        for member_key, member_item in members:
+            self._attach(member_key, member_item)
+        return item
+
+    def _find_with_parent(
+        self, key: Hashable
+    ) -> Tuple[Optional[_VPNode], Optional[_VPNode], str]:
+        """Locate the node holding ``key`` plus its parent and link side."""
+        stack: List[Tuple[Optional[_VPNode], Optional[_VPNode], str]] = [
+            (self._root, None, "")
+        ]
+        while stack:
+            node, parent, side = stack.pop()
+            if node is None:
+                continue
+            if node.key == key:
+                return node, parent, side
+            stack.append((node.inner, node, "inner"))
+            stack.append((node.outer, node, "outer"))
+        return None, None, ""
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support
+    # ------------------------------------------------------------------ #
+    def _export_structure(self) -> dict:
+        keys = list(self._items.keys())
+        position = {key: index for index, key in enumerate(keys)}
+        nodes: List[List[float]] = []
+        if self._root is not None and not self._dirty:
+            order: List[_VPNode] = []
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                order.append(node)
+                if node.outer is not None:
+                    stack.append(node.outer)
+                if node.inner is not None:
+                    stack.append(node.inner)
+            slots = {id(node): index for index, node in enumerate(order)}
+            for node in order:
+                nodes.append(
+                    [
+                        position[node.key],
+                        node.threshold,
+                        slots[id(node.inner)] if node.inner is not None else -1,
+                        slots[id(node.outer)] if node.outer is not None else -1,
+                    ]
+                )
+        return {
+            "dirty": self._dirty,
+            "rebuild_threshold": self._rebuild_threshold,
+            "nodes": nodes,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def _restore_structure(self, state: dict) -> None:
+        keys = list(self._items.keys())
+        self._dirty = bool(state["dirty"])
+        threshold = state["rebuild_threshold"]
+        self._rebuild_threshold = None if threshold is None else int(threshold)
+        records = state["nodes"]
+        nodes: List[_VPNode] = []
+        for key_position, link_threshold, _inner, _outer in records:
+            key = keys[int(key_position)]
+            node = _VPNode(key, self._items[key])
+            node.threshold = float(link_threshold)
+            nodes.append(node)
+        for record, node in zip(records, nodes):
+            inner, outer = int(record[2]), int(record[3])
+            node.inner = nodes[inner] if inner >= 0 else None
+            node.outer = nodes[outer] if outer >= 0 else None
+        self._root = nodes[0] if nodes else None
+        if state.get("rng_state") is not None:
+            self._rng.bit_generator.state = state["rng_state"]
+        self._stale_reason = None
 
     # ------------------------------------------------------------------ #
     # Queries

@@ -1,10 +1,19 @@
-"""Persistence of sequence databases and window collections."""
+"""Persistence of sequence databases, windows, and matcher snapshots."""
 
 from repro.storage.persistence import (
     save_database,
     load_database,
     save_windows,
     load_windows,
+    save_matcher,
+    load_matcher,
 )
 
-__all__ = ["save_database", "load_database", "save_windows", "load_windows"]
+__all__ = [
+    "save_database",
+    "load_database",
+    "save_windows",
+    "load_windows",
+    "save_matcher",
+    "load_matcher",
+]

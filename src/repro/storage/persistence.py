@@ -1,18 +1,31 @@
-"""Saving and loading sequence databases and windows.
+"""Saving and loading sequence databases, windows, and matcher snapshots.
 
 The on-disk format is a single ``.npz`` archive (numpy's zipped container)
-plus a JSON metadata blob stored inside it.  The format is intentionally
-simple: the expensive artefact in this system is the *index*, and an index
-is cheap to rebuild from its windows (the paper's preprocessing step), so we
-persist the data and rebuild structures on load rather than pickling
-pointer-heavy hierarchies.
+plus a JSON metadata blob stored inside it.  Two tiers exist:
+
+* :func:`save_database` / :func:`save_windows` persist raw data only --
+  cheap, stable, and sufficient when rebuilding the index on load is
+  acceptable;
+* :func:`save_matcher` / :func:`load_matcher` additionally persist the
+  *built* index state -- reference distance vectors, tree topology, link
+  distances, the staleness counters, and the distance-cache contents -- so
+  a loaded :class:`~repro.core.matcher.SubsequenceMatcher` answers queries
+  immediately, with zero rebuild work and byte-identical results (including
+  the :class:`~repro.core.queries.QueryStats` work counters) to the matcher
+  that was saved.
+
+Snapshots are versioned independently of the raw-data format
+(``snapshot_version``); loading a snapshot written by an incompatible
+version raises :class:`~repro.exceptions.StorageError` instead of
+misinterpreting it.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import asdict
 from pathlib import Path
-from typing import List, Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
@@ -24,16 +37,19 @@ from repro.sequences.windows import Window
 
 _FORMAT_VERSION = 1
 
+#: Version of the matcher-snapshot layout (database + config + distance +
+#: index structure + cache pool).  Bump on any incompatible change.
+_SNAPSHOT_VERSION = 1
+
 PathLike = Union[str, Path]
 
 
-def save_database(database: SequenceDatabase, path: PathLike) -> None:
-    """Persist ``database`` (sequences, ids, kind, alphabet) to ``path``."""
-    path = Path(path)
+def _database_arrays(database: SequenceDatabase, prefix: str = "seq") -> Tuple[dict, dict]:
+    """Split ``database`` into npz arrays (``{prefix}_{i}``) and JSON metadata."""
     arrays = {}
     entries = []
     for position, sequence in enumerate(database):
-        arrays[f"seq_{position}"] = np.asarray(sequence.values)
+        arrays[f"{prefix}_{position}"] = np.asarray(sequence.values)
         entry = {
             "seq_id": sequence.seq_id,
             "kind": sequence.kind.value,
@@ -42,11 +58,31 @@ def save_database(database: SequenceDatabase, path: PathLike) -> None:
         }
         entries.append(entry)
     metadata = {
-        "format_version": _FORMAT_VERSION,
         "name": database.name,
         "kind": database.kind.value,
         "entries": entries,
     }
+    return arrays, metadata
+
+
+def _database_from(archive, metadata: dict, prefix: str = "seq") -> SequenceDatabase:
+    """Inverse of :func:`_database_arrays`."""
+    kind = SequenceKind(metadata["kind"])
+    database = SequenceDatabase(kind, name=metadata["name"])
+    for position, entry in enumerate(metadata["entries"]):
+        values = archive[f"{prefix}_{position}"]
+        alphabet = None
+        if entry["alphabet"] is not None:
+            alphabet = Alphabet(entry["alphabet"], name=entry["alphabet_name"] or "alphabet")
+        database.add(Sequence(values, kind, entry["seq_id"], alphabet))
+    return database
+
+
+def save_database(database: SequenceDatabase, path: PathLike) -> None:
+    """Persist ``database`` (sequences, ids, kind, alphabet) to ``path``."""
+    path = Path(path)
+    arrays, metadata = _database_arrays(database)
+    metadata["format_version"] = _FORMAT_VERSION
     arrays["metadata"] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
     try:
         np.savez_compressed(path, **arrays)
@@ -64,16 +100,7 @@ def load_database(path: PathLike) -> SequenceDatabase:
                 raise StorageError(
                     f"unsupported database format version {metadata.get('format_version')}"
                 )
-            kind = SequenceKind(metadata["kind"])
-            database = SequenceDatabase(kind, name=metadata["name"])
-            for position, entry in enumerate(metadata["entries"]):
-                values = archive[f"seq_{position}"]
-                alphabet = None
-                if entry["alphabet"] is not None:
-                    alphabet = Alphabet(entry["alphabet"], name=entry["alphabet_name"] or "alphabet")
-                sequence = Sequence(values, kind, entry["seq_id"], alphabet)
-                database.add(sequence)
-            return database
+            return _database_from(archive, metadata)
     except FileNotFoundError as error:
         raise StorageError(f"no database file at {path}") from error
 
@@ -139,3 +166,205 @@ def _with_suffix(path: Path) -> Path:
         return path
     candidate = path.with_suffix(path.suffix + ".npz")
     return candidate if candidate.exists() else path
+
+
+# --------------------------------------------------------------------- #
+# Matcher snapshots: database + config + built index + distance cache
+# --------------------------------------------------------------------- #
+def _export_cache(cache, kind: SequenceKind) -> Tuple[dict, dict]:
+    """Serialize the distance-cache contents into compact npz arrays.
+
+    The cache keys repeat the same windows and segments over and over, so
+    the payloads are deduplicated into a *pool* of unique sequences (flat
+    value data plus per-sequence length/dim) and the entries become three
+    parallel arrays of pool positions, values, and exact flags -- in
+    insertion order, which preserves the eviction order of a bounded cache.
+    """
+    pool_positions: Dict[Sequence, int] = {}
+    pool_sequences: List[Sequence] = []
+    firsts: List[int] = []
+    seconds: List[int] = []
+    values: List[float] = []
+    exacts: List[bool] = []
+
+    def pooled(sequence: Sequence) -> int:
+        position = pool_positions.get(sequence)
+        if position is None:
+            position = len(pool_sequences)
+            pool_positions[sequence] = position
+            pool_sequences.append(sequence)
+        return position
+
+    for first, second, value, exact in cache.iter_entries():
+        if first.kind is not kind or second.kind is not kind:
+            continue  # defensive: a shared cache could hold foreign entries
+        firsts.append(pooled(first))
+        seconds.append(pooled(second))
+        values.append(value)
+        exacts.append(exact)
+
+    dtype = np.int64 if kind is SequenceKind.STRING else np.float64
+    lengths = np.array([len(sequence) for sequence in pool_sequences], dtype=np.int64)
+    dims = np.array(
+        [sequence.values.shape[1] if sequence.values.ndim == 2 else 0 for sequence in pool_sequences],
+        dtype=np.int64,
+    )
+    if pool_sequences:
+        data = np.concatenate([sequence.values.reshape(-1) for sequence in pool_sequences])
+        data = np.asarray(data, dtype=dtype)
+    else:
+        data = np.empty(0, dtype=dtype)
+    arrays = {
+        "cache_pool_data": data,
+        "cache_pool_lengths": lengths,
+        "cache_pool_dims": dims,
+        "cache_entry_first": np.array(firsts, dtype=np.int64),
+        "cache_entry_second": np.array(seconds, dtype=np.int64),
+        "cache_entry_values": np.array(values, dtype=np.float64),
+        "cache_entry_exact": np.array(exacts, dtype=np.uint8),
+    }
+    meta = {"entries": len(firsts), "pool": len(pool_sequences)}
+    return arrays, meta
+
+
+def _restore_cache(archive, kind: SequenceKind, cache) -> None:
+    """Seed ``cache`` with the entries exported by :func:`_export_cache`."""
+    data = archive["cache_pool_data"]
+    lengths = archive["cache_pool_lengths"]
+    dims = archive["cache_pool_dims"]
+    pool: List[Sequence] = []
+    offset = 0
+    for length, dim in zip(lengths.tolist(), dims.tolist()):
+        span = length * dim if dim else length
+        values = data[offset : offset + span]
+        offset += span
+        if dim:
+            values = values.reshape(length, dim)
+        pool.append(Sequence(values, kind))
+    firsts = archive["cache_entry_first"].tolist()
+    seconds = archive["cache_entry_second"].tolist()
+    values = archive["cache_entry_values"].tolist()
+    exacts = archive["cache_entry_exact"].tolist()
+    for first, second, value, exact in zip(firsts, seconds, values, exacts):
+        cache.seed(pool[first], pool[second], value, bool(exact))
+
+
+def save_matcher(matcher, path: PathLike) -> None:
+    """Persist a versioned snapshot of a built matcher to ``path``.
+
+    The snapshot contains everything the matcher's offline steps produced:
+    the database itself, the :class:`~repro.core.config.MatcherConfig`, the
+    distance *name* (the distance object is reconstructed through the
+    registry on load -- pass an explicitly configured instance to
+    :func:`load_matcher` for non-default parameters), the built index
+    structure as exported by
+    :meth:`~repro.indexing.base.MetricIndex.export_structure` (reference
+    vectors, tree topology, exact link distances, staleness counters), and
+    the distance-cache contents.  :func:`load_matcher` therefore answers
+    queries immediately, with the same results *and the same work counters*
+    as the matcher that was saved -- no ``refresh()``, no re-measured pairs.
+    """
+    path = Path(path)
+    database = matcher.database
+    arrays, db_meta = _database_arrays(database, prefix="db_seq")
+    cache_arrays, cache_meta = _export_cache(matcher.distance_cache, database.kind)
+    arrays.update(cache_arrays)
+    metadata = {
+        "snapshot_version": _SNAPSHOT_VERSION,
+        "database": db_meta,
+        "config": asdict(matcher.config),
+        "distance": matcher.distance.name,
+        "window_keys": [list(window.key) for window in matcher.windows],
+        "index": {
+            "name": matcher.index.index_name,
+            "structure": matcher.index.export_structure(),
+        },
+        "cache": cache_meta,
+    }
+    arrays["metadata"] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    try:
+        np.savez_compressed(path, **arrays)
+    except OSError as error:
+        raise StorageError(f"could not write matcher snapshot to {path}: {error}") from error
+
+
+def load_matcher(path: PathLike, distance=None, cache=None):
+    """Load a matcher snapshot written by :func:`save_matcher`.
+
+    Parameters
+    ----------
+    path:
+        The snapshot ``.npz``.
+    distance:
+        Optional pre-configured :class:`~repro.distances.base.Distance`
+        instance.  When omitted, the snapshot's distance name is resolved
+        through :func:`repro.distances.registry.get_distance` with default
+        parameters; when given, its ``name`` must match the snapshot's.
+    cache:
+        Optional externally-owned cache (e.g.
+        :func:`repro.distances.cache.shared_cache`) to seed with the
+        snapshot's entries; when omitted the matcher owns a private cache
+        sized by the snapshot's ``cache_max_entries``.
+
+    Returns
+    -------
+    SubsequenceMatcher
+        Ready to answer queries with **zero rebuild work**: windows are
+        re-derived from the database (pure slicing, no distance
+        computations) and validated against the snapshot's key list, and
+        the index structure and cache contents come straight from disk.
+    """
+    # Imported here: the core layer must stay importable without storage.
+    from repro.core.config import MatcherConfig
+    from repro.core.matcher import SubsequenceMatcher, build_index
+    from repro.core.segmentation import partition_database
+    from repro.distances.cache import DistanceCache
+    from repro.distances.registry import get_distance
+
+    path = Path(path)
+    try:
+        with np.load(_with_suffix(path), allow_pickle=False) as archive:
+            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+            version = metadata.get("snapshot_version")
+            if version != _SNAPSHOT_VERSION:
+                hint = " (not a snapshot file?)" if version is None else ""
+                raise StorageError(
+                    f"unsupported matcher snapshot version {version!r}; this "
+                    f"build reads version {_SNAPSHOT_VERSION}{hint}"
+                )
+            database = _database_from(archive, metadata["database"], prefix="db_seq")
+            config = MatcherConfig(**metadata["config"])
+            saved_name = metadata["distance"]
+            if distance is None:
+                distance = get_distance(saved_name)
+            elif distance.name != saved_name:
+                raise StorageError(
+                    f"snapshot was built with distance {saved_name!r} but "
+                    f"{distance.name!r} was supplied"
+                )
+            windows = partition_database(database, config)
+            saved_keys = [tuple(key) for key in metadata["window_keys"]]
+            if [window.key for window in windows] != saved_keys:
+                raise StorageError(
+                    "snapshot is internally inconsistent: the persisted window "
+                    "keys do not match the windows derived from the persisted "
+                    "database"
+                )
+            target_cache = (
+                cache
+                if cache is not None
+                else DistanceCache(max_entries=config.cache_max_entries)
+            )
+            _restore_cache(archive, database.kind, target_cache)
+            index = build_index(config, distance, target_cache)
+            structure = metadata["index"]["structure"]
+            structure["keys"] = [tuple(key) for key in structure["keys"]]
+            payloads = {window.key: window.sequence for window in windows}
+            index.restore_structure(structure, payloads)
+            matcher = SubsequenceMatcher._restore(
+                database, distance, config, target_cache, windows, index
+            )
+            matcher._owns_cache = cache is None
+            return matcher
+    except FileNotFoundError as error:
+        raise StorageError(f"no matcher snapshot at {path}") from error

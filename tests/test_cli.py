@@ -81,6 +81,99 @@ class TestSearch:
         assert "error" in captured.err
 
 
+class TestSnapshotVerbs:
+    @pytest.fixture
+    def snapshot_path(self, generated_db, tmp_path, capsys):
+        path = tmp_path / "songs-matcher.npz"
+        code = main(
+            [
+                "snapshot",
+                str(generated_db),
+                str(path),
+                "--dataset",
+                "songs",
+                "--min-length",
+                "20",
+                "--max-shift",
+                "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "wrote matcher snapshot" in captured.out
+        assert "staleness policy" in captured.out
+        return path
+
+    def test_search_snapshot(self, snapshot_path, capsys):
+        code = main(
+            [
+                "search",
+                str(snapshot_path),
+                "--dataset",
+                "songs",
+                "--radius",
+                "3.0",
+                "--snapshot",
+                "--stats",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "query cut from" in captured.out
+        assert "query statistics" in captured.out
+
+    def test_add_updates_snapshot_in_place(self, snapshot_path, capsys):
+        code = main(
+            [
+                "add",
+                str(snapshot_path),
+                "--dataset",
+                "songs",
+                "--windows",
+                "10",
+                "--seed",
+                "5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "incrementally added" in captured.out
+        assert "incremental inserts" in captured.out
+        # The updated snapshot still answers searches.
+        assert (
+            main(
+                [
+                    "search",
+                    str(snapshot_path),
+                    "--dataset",
+                    "songs",
+                    "--radius",
+                    "3.0",
+                    "--snapshot",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_snapshot_search_matches_plain_search_results(
+        self, generated_db, snapshot_path, capsys
+    ):
+        args = ["--dataset", "songs", "--radius", "3.0", "--min-length", "20", "--max-shift", "1"]
+        assert main(["search", str(generated_db), *args]) == 0
+        plain = capsys.readouterr().out
+        assert main(["search", str(snapshot_path), *args, "--snapshot"]) == 0
+        from_snapshot = capsys.readouterr().out
+        # Identical match line and identical work accounting.
+        assert plain == from_snapshot
+
+    def test_add_missing_snapshot_errors(self, tmp_path, capsys):
+        code = main(["add", str(tmp_path / "absent.npz"), "--dataset", "songs"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error" in captured.err
+
+
 class TestDistribution:
     def test_distribution_output(self, capsys):
         code = main(["distribution", "songs", "--windows", "40", "--pairs", "100"])

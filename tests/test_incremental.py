@@ -1,0 +1,334 @@
+"""Incremental updates: index insert/delete and matcher add/remove_sequence.
+
+The contract under test is the incremental-vs-rebuild equivalence: any
+interleaving of inserts and deletes followed by queries must return exactly
+what a matcher freshly built (``refresh()``) over the final database would
+return, for every index class -- whatever each index's staleness policy did
+in between.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DiscreteFrechet,
+    LongestSubsequenceQuery,
+    MatcherConfig,
+    NearestSubsequenceQuery,
+    Sequence,
+    SequenceDatabase,
+    SequenceKind,
+    SubsequenceMatcher,
+)
+from repro.indexing import (
+    CoverTree,
+    LinearScanIndex,
+    ReferenceIndex,
+    ReferenceNet,
+    VPTree,
+)
+
+INDEX_NAMES = ["reference-net", "cover-tree", "reference-based", "vp-tree", "linear-scan"]
+
+INDEX_FACTORIES = {
+    "linear-scan": lambda d: LinearScanIndex(d),
+    "reference-net": lambda d: ReferenceNet(d),
+    "cover-tree": lambda d: CoverTree(d),
+    "reference-based": lambda d: ReferenceIndex(d),
+    "vp-tree": lambda d: VPTree(d),
+}
+
+
+def make_items(count, seed=0, length=8):
+    generator = np.random.default_rng(seed)
+    return [
+        Sequence.from_values(np.cumsum(generator.normal(size=length)), seq_id=f"i{seed}-{n}")
+        for n in range(count)
+    ]
+
+
+def result_keys(matches):
+    return sorted(match.key for match in matches)
+
+
+def match_identity(match):
+    if match is None:
+        return None
+    return (
+        match.distance,
+        match.source_id,
+        match.query_start,
+        match.query_stop,
+        match.db_start,
+        match.db_stop,
+    )
+
+
+@pytest.fixture
+def planted_db():
+    generator = np.random.default_rng(11)
+    pattern = np.cumsum(generator.normal(size=24))
+    db = SequenceDatabase(SequenceKind.TIME_SERIES, name="planted")
+    first = np.concatenate([generator.uniform(30, 40, 8), pattern, generator.uniform(30, 40, 8)])
+    second = np.concatenate([generator.uniform(-40, -30, 14), pattern, generator.uniform(-40, -30, 2)])
+    db.add(Sequence.from_values(first, seq_id="with-pattern-1"))
+    db.add(Sequence.from_values(second, seq_id="with-pattern-2"))
+    db.add(Sequence.from_values(generator.uniform(80, 90, size=40), seq_id="background"))
+    return db
+
+
+@pytest.fixture
+def pattern_query(planted_db):
+    source = planted_db["with-pattern-1"]
+    return Sequence(np.asarray(source.values[8:32]) + 0.01, SequenceKind.TIME_SERIES, "query")
+
+
+class TestIndexInsertDelete:
+    """Index-level: insert/delete vs a fresh linear-scan oracle."""
+
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_interleaved_updates_match_oracle(self, index_name):
+        distance = DiscreteFrechet()
+        index = INDEX_FACTORIES[index_name](distance)
+        initial = make_items(30, seed=0)
+        for position, item in enumerate(initial):
+            index.add(item, key=("init", position))
+        if isinstance(index, (ReferenceIndex, VPTree)):
+            index.build()
+
+        extra = make_items(12, seed=1)
+        for position, item in enumerate(extra):
+            index.insert(item, key=("extra", position))
+        for key in [("init", 3), ("extra", 5), ("init", 17), ("init", 0)]:
+            index.delete(key)
+
+        oracle = LinearScanIndex(distance)
+        for key, item in index.items():
+            oracle.add(item, key=key)
+
+        query = make_items(1, seed=2)[0]
+        for radius in (0.5, 2.0, 6.0):
+            assert result_keys(index.range_query(query, radius)) == result_keys(
+                oracle.range_query(query, radius)
+            )
+
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_update_stats_recorded(self, index_name):
+        index = INDEX_FACTORIES[index_name](DiscreteFrechet())
+        for position, item in enumerate(make_items(10, seed=3)):
+            index.add(item, key=position)
+        if isinstance(index, (ReferenceIndex, VPTree)):
+            index.build()
+        index.insert(make_items(1, seed=4)[0], key="new")
+        index.delete(5)
+        assert index.update_stats.inserts == 1
+        assert index.update_stats.deletes == 1
+
+    def test_reference_index_reelects_after_threshold(self):
+        index = ReferenceIndex(DiscreteFrechet(), num_references=3, reelect_after=4)
+        for position, item in enumerate(make_items(20, seed=5)):
+            index.add(item, key=position)
+        index.build()
+        builds_before = index.update_stats.rebuilds
+        for position, item in enumerate(make_items(5, seed=6)):
+            index.insert(item, key=("new", position))
+        assert index.is_stale  # 5 pending updates > reelect_after=4
+        query = make_items(1, seed=7)[0]
+        index.range_query(query, 1.0)  # triggers the lazy re-election
+        assert not index.is_stale
+        assert index.update_stats.rebuilds == builds_before + 1
+        assert "re-election" in index.update_stats.last_rebuild_reason
+
+    def test_reference_index_insert_below_threshold_stays_fresh(self):
+        index = ReferenceIndex(DiscreteFrechet(), num_references=3, reelect_after=10)
+        for position, item in enumerate(make_items(20, seed=5)):
+            index.add(item, key=position)
+        index.build()
+        index.insert(make_items(1, seed=8)[0], key="new")
+        assert not index.is_stale
+
+    def test_vp_tree_rebuilds_after_threshold(self):
+        tree = VPTree(DiscreteFrechet(), rebuild_after=3)
+        for position, item in enumerate(make_items(15, seed=9)):
+            tree.add(item, key=position)
+        tree.build()
+        for position, item in enumerate(make_items(4, seed=10)):
+            tree.insert(item, key=("new", position))
+        assert tree.is_stale  # 4 pending updates > rebuild_after=3
+        query = make_items(1, seed=11)[0]
+        tree.range_query(query, 1.0)
+        assert not tree.is_stale
+        assert "re-balance" in tree.update_stats.last_rebuild_reason
+
+    def test_vp_tree_root_delete_schedules_rebuild(self):
+        tree = VPTree(DiscreteFrechet(), rebuild_after=100)
+        items = make_items(10, seed=12)
+        for position, item in enumerate(items):
+            tree.add(item, key=position)
+        tree.build()
+        root_key = tree._root.key
+        tree.delete(root_key)
+        assert tree.is_stale
+        query = make_items(1, seed=13)[0]
+        oracle = LinearScanIndex(DiscreteFrechet())
+        for key, item in tree.items():
+            oracle.add(item, key=key)
+        assert result_keys(tree.range_query(query, 3.0)) == result_keys(
+            oracle.range_query(query, 3.0)
+        )
+
+    @pytest.mark.parametrize("index_name", ["reference-net", "cover-tree"])
+    def test_root_delete_rebuild_leaves_no_pending_updates(self, index_name):
+        """Regression: the eager root-deletion rebuild absorbed the delete,
+        yet the accounting still reported one pending update."""
+        index = INDEX_FACTORIES[index_name](DiscreteFrechet())
+        items = make_items(10, seed=16)
+        for position, item in enumerate(items):
+            index.add(item, key=position)
+        root_key = index.root_key if index_name == "reference-net" else index._root.key
+        index.delete(root_key)
+        assert index.update_stats.deletes == 1
+        assert index.update_stats.rebuilds == 1
+        assert index.update_stats.pending_updates == 0
+        assert index.update_stats.last_rebuild_reason == "root deletion"
+
+    def test_insert_rejects_duplicate_key(self):
+        tree = VPTree(DiscreteFrechet())
+        tree.add(make_items(1, seed=14)[0], key="k")
+        tree.build()
+        from repro.exceptions import IndexError_
+
+        with pytest.raises(IndexError_):
+            tree.insert(make_items(1, seed=15)[0], key="k")
+
+
+class TestMatcherIncrementalUpdates:
+    """Matcher-level: add_sequence / remove_sequence vs a fresh rebuild."""
+
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_add_sequence_equals_rebuild(self, planted_db, pattern_query, index_name):
+        config = MatcherConfig(min_length=12, max_shift=1, index=index_name)
+        matcher = SubsequenceMatcher(planted_db, DiscreteFrechet(), config)
+        generator = np.random.default_rng(21)
+        matcher.add_sequence(
+            Sequence.from_values(np.cumsum(generator.normal(size=36)), seq_id="late-1")
+        )
+        matcher.add_sequence(
+            Sequence.from_values(generator.uniform(-5, 5, size=30), seq_id="late-2")
+        )
+        assert len(matcher.windows) == planted_db.window_count(config.window_length)
+        matcher.check_incremental_invariants([pattern_query], 0.5)
+        matcher.check_incremental_invariants(
+            [pattern_query], LongestSubsequenceQuery(radius=0.5)
+        )
+        matcher.check_incremental_invariants(
+            [pattern_query], NearestSubsequenceQuery(max_radius=10.0)
+        )
+
+    @pytest.mark.parametrize("index_name", INDEX_NAMES)
+    def test_remove_sequence_equals_rebuild(self, planted_db, pattern_query, index_name):
+        config = MatcherConfig(min_length=12, max_shift=1, index=index_name)
+        matcher = SubsequenceMatcher(planted_db, DiscreteFrechet(), config)
+        removed = matcher.remove_sequence("with-pattern-2")
+        assert removed.seq_id == "with-pattern-2"
+        assert "with-pattern-2" not in matcher.database
+        assert all(window.source_id != "with-pattern-2" for window in matcher.windows)
+        matcher.check_incremental_invariants([pattern_query], 0.5)
+        matcher.check_incremental_invariants(
+            [pattern_query], LongestSubsequenceQuery(radius=0.5)
+        )
+
+    def test_add_sequence_windows_visible_immediately(self, planted_db, config=None):
+        config = MatcherConfig(min_length=12, max_shift=1)
+        matcher = SubsequenceMatcher(planted_db, DiscreteFrechet(), config)
+        before = len(matcher.windows)
+        pattern = np.asarray(planted_db["with-pattern-1"].values[8:32])
+        matcher.add_sequence(Sequence.from_values(pattern, seq_id="clone"))
+        assert len(matcher.windows) > before
+        assert len(matcher.index) == len(matcher.windows)
+        query = Sequence(pattern + 0.01, SequenceKind.TIME_SERIES, "q")
+        results = matcher.range_search(query, 0.5)
+        assert any(match.source_id == "clone" for match in results)
+
+    def test_naive_count_tracks_live_window_count(self, planted_db, pattern_query):
+        config = MatcherConfig(min_length=12, max_shift=1)
+        matcher = SubsequenceMatcher(planted_db, DiscreteFrechet(), config)
+        matcher.segment_matches(pattern_query, 0.5)
+        before = matcher.last_query_stats.naive_distance_computations
+        matcher.add_sequence(
+            Sequence.from_values(np.full(24, 200.0), seq_id="padding")
+        )
+        matcher.segment_matches(pattern_query, 0.5)
+        after = matcher.last_query_stats.naive_distance_computations
+        assert after == before + matcher.last_query_stats.segments_extracted * 4
+
+    def test_remove_then_readd_roundtrips(self, planted_db, pattern_query):
+        config = MatcherConfig(min_length=12, max_shift=1)
+        matcher = SubsequenceMatcher(planted_db, DiscreteFrechet(), config)
+        reference = [
+            match_identity(m) for m in matcher.range_search(pattern_query, 0.5)
+        ]
+        sequence = matcher.remove_sequence("with-pattern-1")
+        matcher.add_sequence(sequence)
+        # The re-added sequence lands at the end of the database, exactly
+        # where a fresh build would put it, so results must still agree
+        # with a rebuild (content identical, order canonical).
+        matcher.check_incremental_invariants([pattern_query], 0.5)
+        roundtrip = [
+            match_identity(m) for m in matcher.range_search(pattern_query, 0.5)
+        ]
+        assert sorted(roundtrip) == sorted(reference)
+
+
+@st.composite
+def update_script(draw):
+    """A list of (op, payload) updates over a pool of small sequences."""
+    ops = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 7)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return ops
+
+
+class TestIncrementalProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(script=update_script(), index_name=st.sampled_from(INDEX_NAMES))
+    def test_any_interleaving_equals_rebuild(self, script, index_name):
+        generator = np.random.default_rng(99)
+        db = SequenceDatabase(SequenceKind.TIME_SERIES, name="prop")
+        for n in range(3):
+            db.add(
+                Sequence.from_values(
+                    np.cumsum(generator.normal(size=30)), seq_id=f"base-{n}"
+                )
+            )
+        config = MatcherConfig(min_length=10, max_shift=1, index=index_name)
+        matcher = SubsequenceMatcher(db, DiscreteFrechet(), config)
+
+        pool = np.random.default_rng(7)
+        added = 0
+        for op, argument in script:
+            if op == "add":
+                matcher.add_sequence(
+                    Sequence.from_values(
+                        np.cumsum(pool.normal(size=20 + argument)),
+                        seq_id=f"dyn-{added}",
+                    )
+                )
+                added += 1
+            else:
+                ids = matcher.database.ids()
+                if len(ids) <= 1:
+                    continue
+                matcher.remove_sequence(ids[argument % len(ids)])
+
+        query = Sequence.from_values(np.cumsum(np.random.default_rng(5).normal(size=18)))
+        matcher.check_incremental_invariants([query], 2.0)
+        matcher.check_incremental_invariants(
+            [query], LongestSubsequenceQuery(radius=2.0)
+        )
