@@ -1,0 +1,105 @@
+"""End-to-end benchmark of the parallel execution engine.
+
+One workload -- the three query types over the songs dataset, linear-scan
+index (whose probe decomposes into batched kernel work units) -- executed on
+the serial and thread engines and on a sharded matcher, each as its own
+benchmark entry.  Recording them side by side in ``BENCH_<n>.json`` is what
+lets the nightly job track the parallel paths over time: on multi-core
+runners the thread and sharded legs should hold a wall-clock edge over
+serial, while on a single-core machine they are expected to land at parity
+(the executor contract guarantees identical work; the GIL and the core
+count decide how much of it overlaps).
+
+The benchmark also re-asserts the equivalence contract end to end: every
+leg must report identical match results and identical work counters.
+"""
+
+import pytest
+
+from _harness import scaled
+from repro.analysis.reporting import format_table
+from repro.core.config import MatcherConfig
+from repro.core.matcher import SubsequenceMatcher
+from repro.core.queries import NearestSubsequenceQuery
+from repro.core.sharded import ShardedMatcher
+from repro.datasets.loaders import dataset_distance, load_dataset
+from repro.datasets.songs import generate_song_query
+
+pytestmark = pytest.mark.benchmark
+
+RADIUS = 2.0
+MAX_RADIUS = 8.0
+
+#: (benchmark leg, executor, shards)
+LEGS = [
+    ("serial", "serial", 1),
+    ("thread", "thread", 1),
+    ("sharded-thread", "thread", 4),
+]
+
+_EXPECTED = {}
+
+
+def _build(executor: str, shards: int):
+    database = load_dataset("songs", num_windows=scaled(200), seed=0)
+    distance = dataset_distance("songs", "frechet")
+    config = MatcherConfig(
+        min_length=40,
+        max_shift=1,
+        index="linear-scan",
+        executor=executor,
+        shards=shards,
+    )
+    query, _, _ = generate_song_query(database, length=80, seed=13)
+    if shards > 1:
+        return ShardedMatcher(database, distance, config), query
+    return SubsequenceMatcher(database, distance, config), query
+
+
+@pytest.mark.parametrize("leg, executor, shards", LEGS)
+def test_end_to_end_parallel_songs(benchmark, leg, executor, shards):
+    matcher, query = _build(executor, shards)
+
+    def run():
+        outcome = {}
+        matches = matcher.range_search(query, RADIUS)
+        outcome["range"] = sorted(
+            (m.source_id, m.query_start, m.query_stop, m.db_start, m.db_stop)
+            for m in matches
+        )
+        longest = matcher.longest_similar(query, RADIUS)
+        outcome["longest"] = (longest.length, round(longest.distance, 9))
+        nearest = matcher.nearest_subsequence(
+            query, NearestSubsequenceQuery(max_radius=MAX_RADIUS)
+        )
+        outcome["nearest"] = round(nearest.distance, 9)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = matcher.last_query_stats
+
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["executor", f"{stats.executor} ({stats.workers} workers)"],
+                ["shards", stats.shards],
+                ["range matches", len(outcome["range"])],
+                ["longest (length, distance)", outcome["longest"]],
+                ["nearest distance", outcome["nearest"]],
+                ["probe wall (ms)", f"{stats.stage_timings.get('probe', 0) * 1000:.1f}"],
+                ["probe cpu (ms)", f"{stats.cpu_stage_timings.get('probe', 0) * 1000:.1f}"],
+            ],
+            title=f"Parallel end-to-end -- songs / frechet / linear-scan ({leg})",
+        )
+    )
+
+    # The equivalence contract, asserted end to end: every leg of this
+    # benchmark answers identically (the serial leg runs first and pins
+    # the expectation).
+    if "outcome" not in _EXPECTED:
+        _EXPECTED["outcome"] = outcome
+    else:
+        assert outcome == _EXPECTED["outcome"]
+    assert outcome["longest"][0] >= 40

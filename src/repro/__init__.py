@@ -103,7 +103,9 @@ from repro.core import (
     SegmentMatch,
     SubsequenceMatch,
     SubsequenceMatcher,
+    ShardedMatcher,
     QueryPipeline,
+    make_executor,
     partition_database,
     extract_query_segments,
     chain_segment_matches,
@@ -178,6 +180,8 @@ __all__ = [
     "SegmentMatch",
     "SubsequenceMatch",
     "SubsequenceMatcher",
+    "ShardedMatcher",
+    "make_executor",
     "QueryPipeline",
     "partition_database",
     "extract_query_segments",

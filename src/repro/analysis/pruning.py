@@ -52,6 +52,7 @@ def measure_pruning(
     index: MetricIndex,
     queries: TypingSequence[object],
     radius: float,
+    executor=None,
 ) -> PruningResult:
     """Average query cost of ``index`` over ``queries`` at one radius.
 
@@ -59,13 +60,16 @@ def measure_pruning(
     (identical results to one-at-a-time queries, batched execution where the
     index supports it); the per-stage accounting -- cache hits and
     lower-bound prefilter work -- is read off the index counter alongside
-    the fresh computation count the paper's figures report.
+    the fresh computation count the paper's figures report.  An optional
+    :class:`~repro.core.executor.Executor` fans the batch out as parallel
+    work units; the measured counters are identical either way (that is the
+    executor contract), only the wall-clock changes.
     """
     if not queries:
         raise ConfigurationError("need at least one query to measure pruning")
     counter = index.counter
     counter.checkpoint()
-    per_query = index.batch_range_query(queries, radius)
+    per_query = index.batch_range_query(queries, radius, executor=executor)
     total_computations = counter.since_checkpoint()
     total_cache_hits = counter.cache_hits_since_checkpoint()
     total_prefilter = counter.prefilter_since_checkpoint()
@@ -88,16 +92,18 @@ def compare_indexes(
     indexes: Dict[str, MetricIndex],
     queries: TypingSequence[object],
     radii: TypingSequence[float],
+    executor=None,
 ) -> List[PruningResult]:
     """Sweep every index over every radius; returns one result per cell.
 
     The label keys of ``indexes`` override the indexes' own ``index_name``
     so that configurations such as ``"MV-5"`` versus ``"MV-50"`` stay
-    distinguishable in the output.
+    distinguishable in the output.  ``executor`` is forwarded to
+    :func:`measure_pruning`.
     """
     results: List[PruningResult] = []
     for radius in radii:
         for label, index in indexes.items():
-            result = measure_pruning(index, queries, radius)
+            result = measure_pruning(index, queries, radius, executor=executor)
             results.append(replace(result, index_name=label))
     return results

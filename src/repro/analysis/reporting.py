@@ -52,11 +52,16 @@ def format_query_stats(stats: "QueryStats", title: Optional[str] = None) -> str:
 
     This is what ``repro search --stats`` prints: the paper's step-4
     quantities (fresh computations vs naive, pruning ratio alpha), the
-    cache and prefilter accounting, and the pipeline's per-stage timings.
+    cache and prefilter accounting, the execution engine (executor, worker
+    count, shard fan-out), and the pipeline's per-stage wall-clock and CPU
+    timings -- for parallel runs the CPU sum shows the work that several
+    workers burned simultaneously, which wall-clock alone would hide.
     Queries that ran several step-3/4/5 passes (Type III) add a per-pass
     summary line.
     """
     rows: List[List[object]] = [
+        ["executor", f"{stats.executor} ({stats.workers} workers)"],
+        ["shards", stats.shards],
         ["segments extracted (step 3)", stats.segments_extracted],
         ["segment matches (step 4)", stats.segment_matches],
         ["candidate chains (step 5)", stats.candidate_chains],
@@ -74,6 +79,10 @@ def format_query_stats(stats: "QueryStats", title: Optional[str] = None) -> str:
     for stage in ("segment", "probe", "chain", "verify"):
         if stage in stats.stage_timings:
             rows.append([f"stage time: {stage}", f"{stats.stage_timings[stage] * 1000:.2f} ms"])
+        if stage in stats.cpu_stage_timings:
+            rows.append(
+                [f"stage cpu: {stage}", f"{stats.cpu_stage_timings[stage] * 1000:.2f} ms"]
+            )
     if stats.passes:
         rows.append(["passes (radius sweep)", len(stats.passes)])
         per_pass = ", ".join(str(p.segment_matches) for p in stats.passes)

@@ -38,8 +38,10 @@ from repro.analysis.reporting import (
     format_query_stats,
     format_table,
 )
-from repro.core.config import MatcherConfig
+from repro.core.config import MatcherConfig, _default_executor
+from repro.core.executor import EXECUTOR_NAMES, make_executor
 from repro.core.matcher import SubsequenceMatcher
+from repro.core.sharded import ShardedMatcher
 from repro.datasets.loaders import dataset_distance, dataset_windows, load_dataset
 from repro.datasets.proteins import generate_protein_query
 from repro.datasets.songs import generate_song_query
@@ -55,6 +57,32 @@ from repro.storage.persistence import (
     save_database,
     save_matcher,
 )
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser, shards: bool = True) -> None:
+    """The execution-engine flags shared by the query-running commands."""
+    parser.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_NAMES),
+        default=None,
+        help="execution engine for probe/verify work units (default: the "
+        "REPRO_EXECUTOR environment variable, else 'serial'); results and "
+        "work counters are identical for every choice",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process executors (default: one per CPU)",
+    )
+    if shards:
+        parser.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="partition the database across N independent matcher shards "
+            "and fan queries out across them (default: 1, unsharded)",
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -93,8 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat the positional path as a matcher snapshot: the matcher "
         "(config, index structure, distance cache) loads ready-built, so "
-        "--min-length/--max-shift are taken from the snapshot",
+        "--min-length/--max-shift/--shards are taken from the snapshot "
+        "(--executor/--workers still override the engine)",
     )
+    _add_execution_flags(search)
 
     snapshot = subparsers.add_parser(
         "snapshot", help="build a matcher and persist its built index state"
@@ -110,6 +140,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["reference-net", "cover-tree", "reference-based", "vp-tree", "linear-scan"],
         default="reference-net",
     )
+    _add_execution_flags(snapshot)
 
     add = subparsers.add_parser(
         "add", help="incrementally add generated sequences to a matcher snapshot"
@@ -145,7 +176,30 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--queries", type=int, default=5)
     compare.add_argument("--radii", type=float, nargs="+", default=None)
     compare.add_argument("--seed", type=int, default=0)
+    _add_execution_flags(compare, shards=False)
     return parser
+
+
+def _matcher_config(args: argparse.Namespace, **overrides) -> MatcherConfig:
+    """A :class:`MatcherConfig` from the shared CLI flags."""
+    settings = dict(
+        min_length=args.min_length,
+        max_shift=args.max_shift,
+        shards=getattr(args, "shards", 1),
+    )
+    if args.executor is not None:
+        settings["executor"] = args.executor
+    if args.workers is not None:
+        settings["workers"] = args.workers
+    settings.update(overrides)
+    return MatcherConfig(**settings)
+
+
+def _build_matcher(database, distance, config: MatcherConfig):
+    """A sharded or plain matcher, as the configuration demands."""
+    if config.shards > 1:
+        return ShardedMatcher(database, distance, config)
+    return SubsequenceMatcher(database, distance, config)
 
 
 def _default_distance(dataset: str, distance: Optional[str]) -> str:
@@ -175,13 +229,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
         if args.distance is not None:
             distance = dataset_distance(args.dataset, args.distance)
         matcher = load_matcher(args.database, distance=distance)
+        if args.executor is not None or args.workers is not None:
+            matcher.set_executor(
+                args.executor if args.executor is not None else matcher.config.executor,
+                args.workers,
+            )
         database = matcher.database
     else:
         database = load_database(args.database)
         distance_name = _default_distance(args.dataset, args.distance)
         distance = dataset_distance(args.dataset, distance_name)
-        config = MatcherConfig(min_length=args.min_length, max_shift=args.max_shift)
-        matcher = SubsequenceMatcher(database, distance, config)
+        matcher = _build_matcher(database, distance, _matcher_config(args))
     query, source_id, offset = _generate_query(args.dataset, database, args.seed)
     match = matcher.longest_similar(query, args.radius)
     print(f"query cut from {source_id!r} at offset {offset}")
@@ -205,17 +263,25 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     database = load_database(args.database)
     distance_name = _default_distance(args.dataset, args.distance)
     distance = dataset_distance(args.dataset, distance_name)
-    config = MatcherConfig(
-        min_length=args.min_length, max_shift=args.max_shift, index=args.index
-    )
-    matcher = SubsequenceMatcher(database, distance, config)
+    config = _matcher_config(args, index=args.index)
+    matcher = _build_matcher(database, distance, config)
     save_matcher(matcher, args.output)
+    shard_note = f", {config.shards} shards" if config.shards > 1 else ""
     print(
         f"wrote matcher snapshot ({len(matcher.windows)} windows, "
-        f"distance {distance_name!r}, index {args.index!r}) to {args.output}"
+        f"distance {distance_name!r}, index {args.index!r}{shard_note}) to {args.output}"
     )
-    print(format_index_stats(matcher.index, title="index state"))
+    _print_index_stats(matcher, title="index state")
     return 0
+
+
+def _print_index_stats(matcher, title: str) -> None:
+    """Index-state tables for a plain matcher or every shard of a sharded one."""
+    if isinstance(matcher, ShardedMatcher):
+        for position, shard in enumerate(matcher.shards):
+            print(format_index_stats(shard.index, title=f"{title} (shard {position})"))
+    else:
+        print(format_index_stats(matcher.index, title=title))
 
 
 def _cmd_add(args: argparse.Namespace) -> int:
@@ -230,7 +296,7 @@ def _cmd_add(args: argparse.Namespace) -> int:
         f"({len(matcher.windows) - windows_before} windows) and updated "
         f"{args.snapshot} in place"
     )
-    print(format_index_stats(matcher.index, title="index state after update"))
+    _print_index_stats(matcher, title="index state after update")
     return 0
 
 
@@ -272,7 +338,8 @@ def _cmd_compare_indexes(args: argparse.Namespace) -> int:
     for index in indexes.values():
         for window in windows:
             index.add(window.sequence, key=window.key)
-    results = compare_indexes(indexes, queries, radii)
+    executor = make_executor(args.executor or _default_executor(), args.workers)
+    results = compare_indexes(indexes, queries, radii, executor=executor)
     rows = [
         [result.index_name, result.radius, result.distance_computations,
          100.0 * result.fraction_of_naive, result.prefilter_evaluations,
@@ -286,7 +353,8 @@ def _cmd_compare_indexes(args: argparse.Namespace) -> int:
                 "prefilter evals", "prefilter pruned", "cache hits", "matches",
             ],
             rows,
-            title=f"{args.dataset} / {distance_name}: query cost vs naive scan",
+            title=f"{args.dataset} / {distance_name}: query cost vs naive scan "
+            f"(executor {executor.name}, {executor.workers} workers)",
         )
     )
     return 0

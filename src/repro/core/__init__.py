@@ -29,11 +29,25 @@ from repro.core.queries import (
 )
 from repro.core.segmentation import partition_database, extract_query_segments
 from repro.core.candidates import CandidateChain, chain_segment_matches
+from repro.core.executor import (
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    make_executor,
+)
 from repro.core.pipeline import ProbeResult, QueryPipeline
 from repro.core.matcher import SubsequenceMatcher
+from repro.core.sharded import ShardedMatcher
 from repro.core.bruteforce import brute_force_matches, brute_force_longest, brute_force_nearest
 
 __all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "make_executor",
+    "ShardedMatcher",
     "MatcherConfig",
     "QueryStats",
     "RangeQuery",

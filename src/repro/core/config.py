@@ -2,10 +2,23 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.exceptions import ConfigurationError
+
+
+def _default_executor() -> str:
+    """The configured default executor (the ``REPRO_EXECUTOR`` env var).
+
+    Reading the environment here is what lets the CI matrix run the whole
+    tier-1 suite under the thread executor without touching any test: the
+    parallel paths promise byte-identical results and work counters, and
+    that promise is only worth something if the entire suite can actually
+    run on top of them.
+    """
+    return os.environ.get("REPRO_EXECUTOR", "serial")
 
 
 @dataclass(frozen=True)
@@ -53,6 +66,21 @@ class MatcherConfig:
         nearby queries while bounding the memory of a long-lived matcher
         serving a stream of distinct queries (oldest entries are evicted
         first).  ``None`` disables the bound.
+    executor:
+        Which execution engine runs the pipeline's probe and verify work
+        units: ``"serial"`` (the default; also the reference semantics),
+        ``"thread"``, or ``"process"`` -- see :mod:`repro.core.executor`.
+        Whatever the choice, queries return byte-identical results and
+        identical work counters.  The default honours the
+        ``REPRO_EXECUTOR`` environment variable, which is how the CI
+        matrix runs the whole test-suite on the thread executor.
+    workers:
+        Worker count for the parallel executors; ``None`` (default) means
+        one per CPU.  Ignored by the serial executor.
+    shards:
+        Number of :class:`~repro.core.sharded.ShardedMatcher` partitions.
+        A plain :class:`~repro.core.matcher.SubsequenceMatcher` ignores
+        this; the CLI and the sharded constructor read it.
     """
 
     min_length: int
@@ -64,6 +92,9 @@ class MatcherConfig:
     query_segment_step: int = 1
     prefilter: bool = True
     cache_max_entries: Optional[int] = 262_144
+    executor: str = field(default_factory=_default_executor)
+    workers: Optional[int] = None
+    shards: int = 1
 
     _KNOWN_INDEXES = (
         "reference-net",
@@ -72,6 +103,8 @@ class MatcherConfig:
         "vp-tree",
         "linear-scan",
     )
+
+    _KNOWN_EXECUTORS = ("serial", "thread", "process")
 
     def __post_init__(self) -> None:
         if self.min_length < 2:
@@ -104,6 +137,16 @@ class MatcherConfig:
             raise ConfigurationError(
                 f"cache_max_entries must be >= 1 or None, got {self.cache_max_entries}"
             )
+        if self.executor not in self._KNOWN_EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {self.executor!r}; expected one of {self._KNOWN_EXECUTORS}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1 or None, got {self.workers}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
         if self.window_length < 1:
             raise ConfigurationError(
                 f"min_length={self.min_length} yields an empty window; use a larger lambda"

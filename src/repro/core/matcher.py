@@ -23,10 +23,12 @@ steps (1-2), the Type III radius-sweep orchestration, and the multi-query
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Union
 
 from repro.core.candidates import chain_segment_matches
 from repro.core.config import MatcherConfig
+from repro.core.executor import make_executor
 from repro.core.pipeline import QueryPipeline
 from repro.core.queries import (
     LongestSubsequenceQuery,
@@ -321,6 +323,23 @@ class SubsequenceMatcher:
                 "incremental matcher diverged from a fresh rebuild: "
                 f"{mine!r} != {theirs!r}"
             )
+
+    def set_executor(self, name: str, workers: Optional[int] = None) -> None:
+        """Switch the execution engine of the live pipeline.
+
+        Updates the configuration (so a later :meth:`refresh` or snapshot
+        keeps the choice) and swaps the pipeline's executor in place --
+        results and work counters are executor-independent, so this is
+        always safe, including on a matcher loaded from a snapshot that
+        was built with a different engine.  ``workers=None`` keeps the
+        currently configured worker count (changing only the engine must
+        not silently drop an explicit count).
+        """
+        if workers is None:
+            workers = self.config.workers
+        self.config = dataclasses.replace(self.config, executor=name, workers=workers)
+        self.pipeline.config = self.config
+        self.pipeline.executor = make_executor(name, workers)
 
     @property
     def index(self) -> MetricIndex:

@@ -16,17 +16,32 @@ decomposed into the same named stages
     probe's kernel dispatch and accounted through the
     :class:`~repro.indexing.stats.DistanceCounter` prefilter tallies;
 ``probe``
-    one :meth:`~repro.indexing.base.MetricIndex.batch_range_query` call
-    covering every segment (step 4), so indexes with batched execution run
-    one grouped kernel sweep per segment instead of one kernel per pair;
+    the step-4 range search over every segment.  Under the serial executor
+    this is one :meth:`~repro.indexing.base.MetricIndex.batch_range_query`
+    call; under a parallel executor the index splits the batch into
+    independent work units
+    (:meth:`~repro.indexing.base.MetricIndex.query_work_units` -- per
+    segment for the tree indexes, per segment x shape group for the linear
+    scan) which fan out over the configured
+    :class:`~repro.core.executor.Executor`;
 ``chain``
     concatenate consecutive window matches into candidate chains (step 5a);
 ``verify``
     turn chains into verified subsequence matches (step 5b), with one
-    strategy per query type.
+    strategy per query type.  Chains are independent, so query types
+    without early-exit dependencies (Type I without a result cap, each
+    Type III pass) verify them as parallel work units too; Type II keeps
+    its longest-first early break and verifies serially.
+
+Whatever the executor, a query returns **byte-identical results and
+identical work counters** to the serial path: parallel units run against
+recorded overlays and their logs are replayed serially afterwards (see
+:mod:`repro.distances.recording` for the argument why this is exact).
 
 Each stage records wall-clock time into
-:attr:`~repro.core.queries.QueryStats.stage_timings` and the counter-based
+:attr:`~repro.core.queries.QueryStats.stage_timings` and CPU time (the
+orchestrating thread plus every worker) into
+:attr:`~repro.core.queries.QueryStats.cpu_stage_timings`; the counter-based
 accounting (fresh computations, cache hits, prefilter evaluations) lands in
 the same :class:`~repro.core.queries.QueryStats`, which is what the CLI's
 ``repro search --stats`` table and the analysis helpers report.
@@ -40,10 +55,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.candidates import CandidateChain, chain_segment_matches
 from repro.core.config import MatcherConfig
+from repro.core.executor import Executor, WorkTask, make_executor
 from repro.core.queries import (
     LongestSubsequenceQuery,
     QueryStats,
@@ -55,7 +71,8 @@ from repro.core.segmentation import extract_query_segments
 from repro.core.verification import _VerificationCounter, enumerate_matches, verify_chain
 from repro.distances.base import Distance
 from repro.distances.cache import DistanceCache
-from repro.indexing.base import MetricIndex
+from repro.distances.recording import RecordingVerifyCache, replay_verify_log
+from repro.indexing.base import MetricIndex, chunk_positions, run_query_work_units
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.sequence import Sequence
 from repro.sequences.windows import Window
@@ -80,6 +97,10 @@ class QueryPipeline:
     sweep) skip re-extraction.  All distance-level sharing goes through the
     matcher's :class:`~repro.distances.cache.DistanceCache`, which the
     pipeline only observes through the index counter.
+
+    The execution substrate is owned here: the pipeline builds (or is
+    handed) an :class:`~repro.core.executor.Executor` from the matcher
+    configuration and submits the probe and verify work units to it.
     """
 
     def __init__(
@@ -90,6 +111,7 @@ class QueryPipeline:
         index: MetricIndex,
         windows_by_key: dict,
         cache: Optional[DistanceCache] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
         self.database = database
         self.distance = distance
@@ -97,6 +119,11 @@ class QueryPipeline:
         self.index = index
         self._windows_by_key = windows_by_key
         self.cache = cache
+        self.executor = (
+            executor
+            if executor is not None
+            else make_executor(config.executor, config.workers)
+        )
         self._segment_memo: Optional[Tuple[Sequence, List[Window]]] = None
         # Monotonic insertion stamps backing the canonical probe order.
         # Maintained incrementally through note_window_added/removed so the
@@ -125,6 +152,9 @@ class QueryPipeline:
         """
         return len(self._windows_by_key)
 
+    def _new_stats(self) -> QueryStats:
+        return QueryStats(executor=self.executor.name, workers=self.executor.workers)
+
     # ------------------------------------------------------------------ #
     # Stage: segment (step 3)
     # ------------------------------------------------------------------ #
@@ -142,27 +172,37 @@ class QueryPipeline:
     # ------------------------------------------------------------------ #
     def probe(self, query: Sequence, radius: float) -> ProbeResult:
         """Run the pipeline's front half and return matches plus accounting."""
-        stats = QueryStats()
+        stats = self._new_stats()
         started = time.perf_counter()
+        cpu_started = time.thread_time()
         segments = self.segments_for(query)
         stats.stage_timings["segment"] = time.perf_counter() - started
+        stats.cpu_stage_timings["segment"] = time.thread_time() - cpu_started
         stats.segments_extracted = len(segments)
         stats.naive_distance_computations = len(segments) * self.window_count
 
         counter = self.index.counter
         counter.checkpoint()
         started = time.perf_counter()
-        per_segment = self.index.batch_range_query(
-            [segment.sequence for segment in segments], radius
-        )
+        cpu_started = time.thread_time()
+        sequences = [segment.sequence for segment in segments]
+        if self.executor.is_parallel:
+            units = self.index.query_work_units(sequences, radius)
+            per_segment, worker_cpu = run_query_work_units(
+                self.index, units, len(sequences), self.executor
+            )
+        else:
+            per_segment = self.index.batch_range_query(sequences, radius)
+            worker_cpu = 0.0
         # Canonical match order: hits within a segment are sorted by window
         # insertion order, so the (segment, window) pairs -- and everything
         # chaining and verification derive from them -- are identical no
-        # matter which index class produced them or how its internal
-        # topology evolved through incremental updates.  This is the
-        # invariant the incremental-vs-rebuild and snapshot guarantees rest
-        # on; for the linear scan and the reference index it is a no-op
-        # (they already enumerate items in insertion order).
+        # matter which index class produced them, how its internal topology
+        # evolved through incremental updates, or which executor ran the
+        # probe.  This is the invariant the incremental-vs-rebuild,
+        # snapshot, and parallel-equivalence guarantees rest on; for the
+        # linear scan and the reference index it is a no-op (they already
+        # enumerate items in insertion order).
         window_order = self._window_order
         matches: List[SegmentMatch] = []
         for segment, hits in zip(segments, per_segment):
@@ -177,6 +217,9 @@ class QueryPipeline:
                     )
                 )
         stats.stage_timings["probe"] = time.perf_counter() - started
+        stats.cpu_stage_timings["probe"] = (
+            time.thread_time() - cpu_started
+        ) + worker_cpu
         stats.index_distance_computations = counter.since_checkpoint()
         stats.index_cache_hits = counter.cache_hits_since_checkpoint()
         stats.prefilter_evaluations = counter.prefilter_since_checkpoint()
@@ -190,8 +233,10 @@ class QueryPipeline:
     def chain(self, matches: List[SegmentMatch], stats: QueryStats) -> List[CandidateChain]:
         """Concatenate consecutive window matches into candidate chains."""
         started = time.perf_counter()
+        cpu_started = time.thread_time()
         chains = chain_segment_matches(matches, self.config)
         stats.stage_timings["chain"] = time.perf_counter() - started
+        stats.cpu_stage_timings["chain"] = time.thread_time() - cpu_started
         stats.candidate_chains = len(chains)
         return chains
 
@@ -204,6 +249,7 @@ class QueryPipeline:
         query: Sequence,
         radius: float,
         counter: _VerificationCounter,
+        cache=None,
     ) -> Optional[SubsequenceMatch]:
         """Verify ``chain``; on failure, retry its halves recursively.
 
@@ -213,7 +259,12 @@ class QueryPipeline:
         in half and retrying costs at most a logarithmic factor in extra
         verifications and guarantees that every single-window match is still
         considered.
+
+        ``cache`` defaults to the matcher's shared distance cache; parallel
+        verification units pass their private recording overlay instead.
         """
+        if cache is None:
+            cache = self.cache
         db_sequence = self.database[chain.source_id]
         verified = verify_chain(
             chain,
@@ -223,7 +274,7 @@ class QueryPipeline:
             radius,
             self.config,
             counter,
-            cache=self.cache,
+            cache=cache,
         )
         if verified is not None or chain.window_count == 1:
             return verified
@@ -234,7 +285,7 @@ class QueryPipeline:
         )
         best: Optional[SubsequenceMatch] = None
         for half in halves:
-            candidate = self.verify_with_fallback(half, query, radius, counter)
+            candidate = self.verify_with_fallback(half, query, radius, counter, cache=cache)
             if candidate is None:
                 continue
             if (
@@ -245,12 +296,69 @@ class QueryPipeline:
                 best = candidate
         return best
 
+    def _verify_all_chains(
+        self,
+        chains: List[CandidateChain],
+        counter: _VerificationCounter,
+        runner: Callable[[CandidateChain, object, _VerificationCounter], object],
+    ) -> Tuple[List[object], float]:
+        """Run ``runner`` over every chain; results come back in chain order.
+
+        Chains are mutually independent given a fixed radius, so under a
+        parallel executor each becomes a work unit with a private
+        :class:`~repro.distances.recording.RecordingVerifyCache`; the unit
+        logs are replayed in chain order into the shared cache and
+        ``counter`` afterwards, reproducing the serial accounting exactly.
+        Returns the per-chain results plus the summed worker CPU seconds.
+        """
+        if (
+            not self.executor.is_parallel
+            or not self.executor.runs_local_tasks_concurrently
+            or len(chains) <= 1
+        ):
+            # Verification units have no remote phase, so an executor that
+            # cannot overlap local tasks (the process pool runs them one
+            # by one in the parent) gains nothing from the recording
+            # bookkeeping -- run the plain serial loop.
+            return [runner(chain, self.cache, counter) for chain in chains], 0.0
+        recordings: List[RecordingVerifyCache] = [
+            RecordingVerifyCache(self.cache) for _chain in chains
+        ]
+        # Contiguous chunks of chains per task: candidate chains number in
+        # the thousands and most verify in microseconds, so per-chain
+        # futures would cost more than the verification itself.
+        chunks = chunk_positions(len(chains), self.executor.workers)
+        tasks: List[WorkTask] = []
+        for positions in chunks:
+
+            def local(positions=positions):
+                return [
+                    runner(chains[p], recordings[p], _VerificationCounter())
+                    for p in positions
+                ]
+
+            tasks.append(WorkTask(local))
+        results = self.executor.run(tasks)
+        for recording in recordings:
+            replay_verify_log(recording.log, self.cache, counter)
+        per_chain: List[object] = []
+        for result in results:
+            per_chain.extend(result.value)
+        return per_chain, sum(result.worker_cpu_seconds for result in results)
+
     @staticmethod
     def _finish_verify(
-        stats: QueryStats, counter: _VerificationCounter, started: float
+        stats: QueryStats,
+        counter: _VerificationCounter,
+        started: float,
+        cpu_started: float,
+        worker_cpu: float = 0.0,
     ) -> None:
-        """Fold the verification counter and timing into ``stats``."""
+        """Fold the verification counter and timings into ``stats``."""
         stats.stage_timings["verify"] = time.perf_counter() - started
+        stats.cpu_stage_timings["verify"] = (
+            time.thread_time() - cpu_started
+        ) + worker_cpu
         stats.verification_distance_computations = counter.count
         stats.verification_cache_hits = counter.cache_hits
 
@@ -260,47 +368,69 @@ class QueryPipeline:
     def run_range(
         self, query: Sequence, spec: RangeQuery
     ) -> Tuple[List[SubsequenceMatch], QueryStats]:
-        """Type I: every (deduplicated) verified pair within the radius."""
+        """Type I: every (deduplicated) verified pair within the radius.
+
+        Without a result cap every chain is verified, so the chains fan out
+        as parallel verification units; with ``max_results`` the serial
+        early-exit loop is kept (stopping after the n-th verified pair is a
+        sequential dependency by definition).
+        """
         probe = self.probe(query, spec.radius)
         stats = probe.stats
         chains = self.chain(probe.matches, stats)
 
         counter = _VerificationCounter()
         started = time.perf_counter()
-        results: List[SubsequenceMatch] = []
-        seen = set()
-        for chain in chains:
+        cpu_started = time.thread_time()
+
+        def runner(chain, cache, chain_counter):
             if spec.exhaustive:
-                found = enumerate_matches(
+                return enumerate_matches(
                     chain,
                     query,
                     self.database[chain.source_id],
                     self.distance,
                     spec.radius,
                     self.config,
-                    counter,
+                    chain_counter,
                     max_results=spec.max_results,
-                    cache=self.cache,
+                    cache=cache,
                 )
-            else:
-                verified = self.verify_with_fallback(chain, query, spec.radius, counter)
-                found = [verified] if verified is not None else []
-            for match in found:
-                identity = (
-                    match.source_id,
-                    match.query_start,
-                    match.query_stop,
-                    match.db_start,
-                    match.db_stop,
-                )
-                if identity in seen:
-                    continue
+            verified = self.verify_with_fallback(
+                chain, query, spec.radius, chain_counter, cache=cache
+            )
+            return [verified] if verified is not None else []
+
+        results: List[SubsequenceMatch] = []
+        seen = set()
+
+        def keep(match: SubsequenceMatch) -> None:
+            identity = (
+                match.source_id,
+                match.query_start,
+                match.query_stop,
+                match.db_start,
+                match.db_stop,
+            )
+            if identity not in seen:
                 seen.add(identity)
                 results.append(match)
-                if spec.max_results is not None and len(results) >= spec.max_results:
-                    self._finish_verify(stats, counter, started)
+
+        if spec.max_results is None:
+            per_chain, worker_cpu = self._verify_all_chains(chains, counter, runner)
+            for found in per_chain:
+                for match in found:
+                    keep(match)
+            self._finish_verify(stats, counter, started, cpu_started, worker_cpu)
+            return results, stats
+
+        for chain in chains:
+            for match in runner(chain, self.cache, counter):
+                keep(match)
+                if len(results) >= spec.max_results:
+                    self._finish_verify(stats, counter, started, cpu_started)
                     return results, stats
-        self._finish_verify(stats, counter, started)
+        self._finish_verify(stats, counter, started, cpu_started)
         return results, stats
 
     def run_longest(
@@ -311,6 +441,10 @@ class QueryPipeline:
         A chain of ``k`` concatenated windows can support a match of length
         up to ``(k + 2) * lambda / 2``, so once a chain verifies, shorter
         chains that cannot possibly beat the verified length are skipped.
+        That skip makes every verification depend on the previous ones, so
+        Type II verification always runs serially (the probe still
+        parallelizes); speculative parallel verification would change the
+        work counters, which the executor contract forbids.
         """
         probe = self.probe(query, spec.radius)
         stats = probe.stats
@@ -318,6 +452,7 @@ class QueryPipeline:
 
         counter = _VerificationCounter()
         started = time.perf_counter()
+        cpu_started = time.thread_time()
         best: Optional[SubsequenceMatch] = None
         for chain in chains:
             potential = (chain.window_count + 2) * self.config.window_length
@@ -332,25 +467,36 @@ class QueryPipeline:
                 or (verified.length == best.length and verified.distance < best.distance)
             ):
                 best = verified
-        self._finish_verify(stats, counter, started)
+        self._finish_verify(stats, counter, started, cpu_started)
         return best, stats
 
     def run_nearest_pass(
         self, query: Sequence, radius: float
     ) -> Tuple[Optional[SubsequenceMatch], QueryStats]:
-        """One fixed-radius pass of Type III: best verified match by distance."""
+        """One fixed-radius pass of Type III: best verified match by distance.
+
+        Every chain is verified (no early exit), so the chains fan out as
+        parallel verification units and the best match is selected in chain
+        order afterwards -- the same answer, tie-breaks included, as the
+        serial loop.
+        """
         probe = self.probe(query, radius)
         stats = probe.stats
         chains = self.chain(probe.matches, stats)
 
         counter = _VerificationCounter()
         started = time.perf_counter()
+        cpu_started = time.thread_time()
+
+        def runner(chain, cache, chain_counter):
+            return self.verify_with_fallback(chain, query, radius, chain_counter, cache=cache)
+
+        per_chain, worker_cpu = self._verify_all_chains(chains, counter, runner)
         best: Optional[SubsequenceMatch] = None
-        for chain in chains:
-            verified = self.verify_with_fallback(chain, query, radius, counter)
+        for verified in per_chain:
             if verified is None:
                 continue
             if best is None or verified.distance < best.distance:
                 best = verified
-        self._finish_verify(stats, counter, started)
+        self._finish_verify(stats, counter, started, cpu_started, worker_cpu)
         return best, stats

@@ -183,6 +183,21 @@ class QueryStats:
         Prefilter time is part of ``probe`` (the bounds run inside the
         batched kernel dispatch); its effect is visible through the
         prefilter counters instead.
+    cpu_stage_timings:
+        CPU seconds per pipeline stage: the orchestrating thread's CPU time
+        plus the summed per-worker CPU time of every parallel work unit.
+        Under the serial executor this tracks ``stage_timings``; under a
+        parallel executor the CPU sum can exceed the wall-clock (several
+        workers burning CPU simultaneously), which is exactly the "work
+        that does not show up in wall-clock" a parallel run would otherwise
+        appear to lose.
+    executor / workers:
+        The execution engine that answered the query and its worker count
+        (see :mod:`repro.core.executor`).
+    shards:
+        Number of matcher shards that contributed to these statistics (1
+        for a plain matcher; see
+        :class:`~repro.core.sharded.ShardedMatcher`).
     passes:
         Per-pass history for queries that repeat steps 3-5 (Type III's
         radius sweep): one :class:`QueryStats` per pass, in execution
@@ -202,6 +217,10 @@ class QueryStats:
     prefilter_evaluations: int = 0
     prefilter_pruned: int = 0
     stage_timings: Dict[str, float] = field(default_factory=dict)
+    cpu_stage_timings: Dict[str, float] = field(default_factory=dict)
+    executor: str = "serial"
+    workers: int = 1
+    shards: int = 1
     passes: List["QueryStats"] = field(default_factory=list)
 
     @property
@@ -234,9 +253,10 @@ class QueryStats:
         """Aggregate the stats of repeated step-3/4/5 passes (Type III).
 
         Work counters (distance computations, cache hits, prefilter
-        evaluations, stage timings) are summed across the passes -- that is
-        what answering the query actually cost -- while the shape counters
-        (``segments_extracted``, ``segment_matches``, ``candidate_chains``,
+        evaluations, wall-clock and CPU stage timings) are summed across
+        the passes -- that is what answering the query actually cost --
+        while the shape counters (``segments_extracted``,
+        ``segment_matches``, ``candidate_chains``,
         ``naive_distance_computations``) report the *final* pass, the one
         that produced the answer.  The full per-pass history is kept in
         :attr:`passes`.
@@ -257,9 +277,61 @@ class QueryStats:
             verification_cache_hits=sum(p.verification_cache_hits for p in passes),
             prefilter_evaluations=sum(p.prefilter_evaluations for p in passes),
             prefilter_pruned=sum(p.prefilter_pruned for p in passes),
+            executor=final.executor,
+            workers=final.workers,
+            shards=final.shards,
         )
         for stats in passes:
             for stage, seconds in stats.stage_timings.items():
                 total.stage_timings[stage] = total.stage_timings.get(stage, 0.0) + seconds
+            for stage, seconds in stats.cpu_stage_timings.items():
+                total.cpu_stage_timings[stage] = (
+                    total.cpu_stage_timings.get(stage, 0.0) + seconds
+                )
         total.passes = list(passes)
+        return total
+
+    @classmethod
+    def across_shards(cls, shard_stats: TypingSequence["QueryStats"]) -> "QueryStats":
+        """Combine per-shard statistics into one record (sharded matchers).
+
+        Every shard answered the *same* query over *its* partition of the
+        windows, so ``segments_extracted`` is taken from the first shard
+        (each extracted the identical segment set) while everything else --
+        work counters, matches, chains, the naive denominator, and both
+        timing dictionaries -- sums across shards.  ``shards`` records the
+        fan-out width; the per-shard records are kept in :attr:`passes`.
+        """
+        if not shard_stats:
+            return cls()
+        first = shard_stats[0]
+        total = cls(
+            segments_extracted=first.segments_extracted,
+            segment_matches=sum(s.segment_matches for s in shard_stats),
+            candidate_chains=sum(s.candidate_chains for s in shard_stats),
+            naive_distance_computations=sum(
+                s.naive_distance_computations for s in shard_stats
+            ),
+            index_distance_computations=sum(
+                s.index_distance_computations for s in shard_stats
+            ),
+            verification_distance_computations=sum(
+                s.verification_distance_computations for s in shard_stats
+            ),
+            index_cache_hits=sum(s.index_cache_hits for s in shard_stats),
+            verification_cache_hits=sum(s.verification_cache_hits for s in shard_stats),
+            prefilter_evaluations=sum(s.prefilter_evaluations for s in shard_stats),
+            prefilter_pruned=sum(s.prefilter_pruned for s in shard_stats),
+            executor=first.executor,
+            workers=first.workers,
+            shards=len(shard_stats),
+        )
+        for stats in shard_stats:
+            for stage, seconds in stats.stage_timings.items():
+                total.stage_timings[stage] = total.stage_timings.get(stage, 0.0) + seconds
+            for stage, seconds in stats.cpu_stage_timings.items():
+                total.cpu_stage_timings[stage] = (
+                    total.cpu_stage_timings.get(stage, 0.0) + seconds
+                )
+        total.passes = list(shard_stats)
         return total

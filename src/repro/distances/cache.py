@@ -24,6 +24,7 @@ cutoff at most ``c`` without recomputing.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.sequences.sequence import Sequence
@@ -33,6 +34,12 @@ _INF = float("inf")
 
 class DistanceCache:
     """A cache of exact distances and early-abandon lower bounds.
+
+    The cache is thread-safe: every operation that touches the entry table
+    or the hit/miss statistics takes an internal lock, so one cache may be
+    shared between concurrently querying matchers (:func:`shared_cache`) and
+    between the parallel work units of a thread-pool executor without
+    corrupting the table or the eviction order.
 
     Parameters
     ----------
@@ -54,6 +61,7 @@ class DistanceCache:
         self._entries: Dict[Tuple[Sequence, Sequence], Tuple[float, bool]] = {}
         self._hits = 0
         self._misses = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Statistics
@@ -69,13 +77,15 @@ class DistanceCache:
         return self._misses
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss statistics."""
-        self._entries.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
 
     # ------------------------------------------------------------------ #
     # Lookup / store
@@ -94,16 +104,40 @@ class DistanceCache:
         answers the query with ``inf`` (the pair provably cannot be within
         the cutoff); exact entries always answer.  Statistics are updated.
         """
+        with self._lock:
+            entry = self._entries.get((first, second))
+            if entry is not None:
+                value, exact = entry
+                if exact:
+                    self._hits += 1
+                    return value
+                if cutoff is not None and value >= cutoff:
+                    self._hits += 1
+                    return _INF
+            self._misses += 1
+            return None
+
+    def peek(
+        self, first: Sequence, second: Sequence, cutoff: Optional[float] = None
+    ) -> Optional[float]:
+        """:meth:`lookup` without touching the hit/miss statistics.
+
+        Parallel work units read the cache through ``peek`` while they run;
+        the accounting-faithful lookups happen later, during the unit-log
+        replay (see :mod:`repro.distances.recording`), so a query answered
+        in parallel leaves exactly the statistics a serial run would.
+
+        Lock-free on purpose: a single ``dict.get`` is atomic under the
+        GIL, entry tuples are immutable, and ``peek`` mutates nothing --
+        so the hottest read path of every work unit skips the lock.
+        """
         entry = self._entries.get((first, second))
         if entry is not None:
             value, exact = entry
             if exact:
-                self._hits += 1
                 return value
             if cutoff is not None and value >= cutoff:
-                self._hits += 1
                 return _INF
-        self._misses += 1
         return None
 
     def store(
@@ -121,17 +155,21 @@ class DistanceCache:
         never downgrades an existing exact entry or a larger bound.
         """
         key = (first, second)
-        if cutoff is None or value <= cutoff:
-            self._entries[key] = (value, True)
-        else:
-            existing = self._entries.get(key)
-            if existing is not None and (existing[1] or existing[0] >= cutoff):
-                return
-            self._entries[key] = (float(cutoff), False)
-        self._evict_overflow()
+        with self._lock:
+            if cutoff is None or value <= cutoff:
+                self._entries[key] = (value, True)
+            else:
+                existing = self._entries.get(key)
+                if existing is not None and (existing[1] or existing[0] >= cutoff):
+                    return
+                self._entries[key] = (float(cutoff), False)
+            self._evict_overflow()
 
     def _evict_overflow(self) -> None:
-        """Drop oldest entries until the capacity bound holds again."""
+        """Drop oldest entries until the capacity bound holds again.
+
+        Callers must hold :attr:`_lock`.
+        """
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 self._entries.pop(next(iter(self._entries)))
@@ -144,9 +182,13 @@ class DistanceCache:
 
         Insertion order *is* eviction order, so a consumer that replays the
         stream through :meth:`seed` reproduces not just the contents but the
-        future eviction behaviour of a bounded cache.
+        future eviction behaviour of a bounded cache.  The entry table is
+        snapshotted under the lock first, so iteration is safe against
+        concurrent inserts (it yields the state at call time).
         """
-        for (first, second), (value, exact) in self._entries.items():
+        with self._lock:
+            entries = list(self._entries.items())
+        for (first, second), (value, exact) in entries:
             yield first, second, value, exact
 
     def seed(self, first: Sequence, second: Sequence, value: float, exact: bool = True) -> None:
@@ -156,8 +198,9 @@ class DistanceCache:
         caller asserts the entry is precisely what a live cache held (for a
         bound entry, ``value`` is the cutoff the kernel abandoned at).
         """
-        self._entries[(first, second)] = (float(value), bool(exact))
-        self._evict_overflow()
+        with self._lock:
+            self._entries[(first, second)] = (float(value), bool(exact))
+            self._evict_overflow()
 
     def __repr__(self) -> str:
         return (
@@ -167,6 +210,7 @@ class DistanceCache:
 
 
 _SHARED_CACHES: Dict[str, DistanceCache] = {}
+_SHARED_CACHES_LOCK = threading.Lock()
 
 #: Default capacity of a :func:`shared_cache`; sized for multi-matcher
 #: workloads (several matchers' worth of segment-window pairs).
@@ -189,9 +233,10 @@ def shared_cache(name: str = "default", max_entries: Optional[int] = None) -> Di
     defaulting to :data:`SHARED_CACHE_MAX_ENTRIES`); later calls return the
     same instance and ignore ``max_entries``.
     """
-    cache = _SHARED_CACHES.get(name)
-    if cache is None:
-        capacity = SHARED_CACHE_MAX_ENTRIES if max_entries is None else max_entries
-        cache = DistanceCache(max_entries=capacity)
-        _SHARED_CACHES[name] = cache
-    return cache
+    with _SHARED_CACHES_LOCK:
+        cache = _SHARED_CACHES.get(name)
+        if cache is None:
+            capacity = SHARED_CACHE_MAX_ENTRIES if max_entries is None else max_entries
+            cache = DistanceCache(max_entries=capacity)
+            _SHARED_CACHES[name] = cache
+        return cache

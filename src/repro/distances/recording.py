@@ -1,0 +1,425 @@
+"""Recorded distance evaluation for parallel work units.
+
+The parallel executors (:mod:`repro.core.executor`) run index probes and
+chain verifications concurrently, but the framework's contract is strict:
+whatever the execution substrate, a query must return *byte-identical
+results and identical work counters* to the serial path.  Results are easy
+-- every distance value is a pure function of its operands -- but the
+counters are not: whether a distance request is a *fresh computation* or a
+*cache hit* depends on the order in which earlier requests populated the
+shared :class:`~repro.distances.cache.DistanceCache`, and concurrent units
+racing on one cache would make that order (and therefore the accounting)
+nondeterministic.
+
+The resolution rests on one observation: the *request stream* of a work
+unit -- which pairs it measures, with which cutoffs, in which order -- is a
+pure function of the distance values, never of the cache state (a hit and a
+fresh computation return the same number).  So each unit runs against a
+**private overlay** over a read-only snapshot of the shared cache and keeps
+a **log** of its requests; when the executor is done, the logs are replayed
+serially, in unit order, against the real cache and counters.  The replay
+performs no kernels -- every value is in the log -- it only re-derives the
+hit/fresh/prefilter classification each request *would* have received under
+serial execution, and applies the stores in serial order (which also
+reproduces the serial cache content and eviction order).
+
+Two recording front-ends exist, matching the two distance entry points of
+the query pipeline:
+
+* :class:`RecordingCounting` duck-types the index layer's
+  :class:`~repro.indexing.stats.CountingDistance` (``__call__`` /
+  ``bounded`` / ``batch``) for probe work units;
+* :class:`RecordingVerifyCache` duck-types :class:`DistanceCache` for the
+  verification step's ``_measure`` helper.
+
+The matching replays are :func:`replay_probe_log` (into a
+``CountingDistance``) and :func:`replay_verify_log` (into a verification
+counter plus the cache).
+
+One documented inexactness remains: if the shared cache evicts entries
+*mid-stage* (capacity reached while a query is executing), a unit may have
+answered a request from an entry the serial run would already have evicted.
+The replay then counts that request as a fresh computation with the
+recorded value -- results stay exact, the counters may differ by the
+handful of requests involved.  The matcher-sized default capacities make
+this unreachable in practice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence as TypingSequence, Tuple
+
+import numpy as np
+
+from repro.distances.base import Distance, as_array, group_batch_operands
+from repro.distances.cache import DistanceCache
+from repro.distances.lower_bounds import combined_batch_bound, combined_bound
+from repro.sequences.sequence import Sequence
+
+_INF = float("inf")
+
+#: Log record tags (first tuple element of every record).
+_CALL = "call"
+_BOUNDED = "bounded"
+_BATCH = "batch"
+
+
+class _Overlay:
+    """A unit-private write layer over a read-only base cache snapshot.
+
+    ``lookup`` consults the overlay first (it holds the unit's most recent
+    knowledge) and falls back to :meth:`DistanceCache.peek` on the base,
+    which never mutates the base statistics.  ``store`` only ever writes the
+    overlay.  Entry semantics (exact values vs ``distance > cutoff`` lower
+    bounds, no downgrades) mirror :class:`DistanceCache`.
+    """
+
+    __slots__ = ("base", "entries")
+
+    def __init__(self, base: Optional[DistanceCache]) -> None:
+        self.base = base
+        self.entries: dict = {}
+
+    def lookup(
+        self, first: Sequence, second: Sequence, cutoff: Optional[float] = None
+    ) -> Optional[float]:
+        entry = self.entries.get((first, second))
+        if entry is not None:
+            value, exact = entry
+            if exact:
+                return value
+            if cutoff is not None and value >= cutoff:
+                return _INF
+        if self.base is not None:
+            return self.base.peek(first, second, cutoff=cutoff)
+        return None
+
+    def store(
+        self, first: Sequence, second: Sequence, value: float, cutoff: Optional[float] = None
+    ) -> None:
+        key = (first, second)
+        if cutoff is None or value <= cutoff:
+            self.entries[key] = (value, True)
+            return
+        existing = self.entries.get(key)
+        if existing is not None and (existing[1] or existing[0] >= cutoff):
+            return
+        self.entries[key] = (float(cutoff), False)
+
+
+class RecordingCounting:
+    """A per-unit stand-in for :class:`~repro.indexing.stats.CountingDistance`.
+
+    Index ``_range_search`` implementations receive one of these when they
+    execute inside a parallel work unit: same call surface (``__call__``,
+    ``bounded``, ``batch``, plus the ``inner``/``name``/``is_metric``
+    attributes the indexes read), but all cache traffic goes through a
+    private overlay and every request is logged for the serial replay.
+
+    The prefilter bounds are evaluated exactly where the serial
+    ``CountingDistance`` would evaluate them -- on cache misses only -- and
+    their outcomes ride along in the log so the replay can reconstruct the
+    prefilter tallies without recomputing anything.
+    """
+
+    def __init__(
+        self,
+        inner: Distance,
+        base: Optional[DistanceCache],
+        prefilter: bool = False,
+    ) -> None:
+        self.inner = inner
+        self.prefilter = bool(prefilter)
+        self._overlay = _Overlay(base)
+        #: The unit's request log, replayed by :func:`replay_probe_log`.
+        self.log: List[tuple] = []
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def is_metric(self) -> bool:
+        return self.inner.is_metric
+
+    @property
+    def cache(self) -> Optional[DistanceCache]:
+        """The base cache the overlay snapshots (read-only during the unit)."""
+        return self._overlay.base
+
+    def __call__(self, first, second) -> float:
+        if not DistanceCache.cacheable(first, second):
+            value = self.inner(first, second)
+            self.log.append((_CALL, first, second, value, False, False))
+            return value
+        cached = self._overlay.lookup(first, second)
+        if cached is not None:
+            self.log.append((_CALL, first, second, cached, True, True))
+            return cached
+        value = self.inner(first, second)
+        self._overlay.store(first, second, value)
+        self.log.append((_CALL, first, second, value, False, True))
+        return value
+
+    def bounded(self, first, second, cutoff: float) -> float:
+        cacheable = DistanceCache.cacheable(first, second)
+        if cacheable:
+            cached = self._overlay.lookup(first, second, cutoff=cutoff)
+            if cached is not None:
+                self.log.append((_BOUNDED, first, second, cutoff, cached, True, True, None))
+                return cached
+        bound = None
+        if self.prefilter:
+            bound = combined_bound(self.inner, first, second)
+            if bound > cutoff:
+                if cacheable:
+                    self._overlay.store(first, second, _INF, cutoff=cutoff)
+                self.log.append(
+                    (_BOUNDED, first, second, cutoff, _INF, False, cacheable, bound)
+                )
+                return _INF
+        value = self.inner.bounded(first, second, cutoff)
+        if cacheable:
+            self._overlay.store(first, second, value, cutoff=cutoff)
+        self.log.append((_BOUNDED, first, second, cutoff, value, False, cacheable, bound))
+        return value
+
+    def batch(
+        self,
+        query,
+        items: TypingSequence,
+        cutoff: Optional[float] = None,
+    ) -> np.ndarray:
+        """Recorded analogue of :meth:`CountingDistance.batch`.
+
+        Structured as prepare / compute / finish so a process-pool work
+        unit can run the pure compute phase in a child process (see
+        :meth:`batch_prepare`); calling :meth:`batch` runs all three phases
+        in this process, which is what thread-pool units do.
+        """
+        context = self.batch_prepare(query, items, cutoff)
+        computed = compute_batch_groups(context.payload())
+        return self.batch_finish(context, computed)
+
+    def batch_prepare(self, query, items, cutoff) -> "_BatchContext":
+        """Cache lookups + shape grouping; returns the pure-compute payload."""
+        values = np.empty(len(items), dtype=np.float64)
+        hits = [False] * len(items)
+        query_array = as_array(query)
+        pending: List[int] = []
+        for index, item in enumerate(items):
+            if DistanceCache.cacheable(query, item):
+                cached = self._overlay.lookup(query, item, cutoff=cutoff)
+                if cached is not None:
+                    values[index] = cached
+                    hits[index] = True
+                    continue
+            pending.append(index)
+        arrays, groups = group_batch_operands(self.inner, query_array, items, pending)
+        grouped: List[Tuple[List[int], np.ndarray]] = []
+        for indexes in groups.values():
+            grouped.append((indexes, np.stack([arrays[i] for i in indexes])))
+        return _BatchContext(self, query, items, cutoff, values, hits, query_array, grouped)
+
+    def batch_finish(
+        self, context: "_BatchContext", computed: List[Tuple[np.ndarray, Optional[np.ndarray]]]
+    ) -> np.ndarray:
+        """Fold the computed group values/bounds back in; log the batch."""
+        values, hits = context.values, context.hits
+        bounds: List[Optional[float]] = [None] * len(context.items)
+        for (indexes, _tensor), (group_values, group_bounds) in zip(context.grouped, computed):
+            for position, index in enumerate(indexes):
+                value = float(group_values[position])
+                values[index] = value
+                if group_bounds is not None:
+                    bounds[index] = float(group_bounds[position])
+                if DistanceCache.cacheable(context.query, context.items[index]):
+                    self._overlay.store(
+                        context.query, context.items[index], value, cutoff=context.cutoff
+                    )
+        self.log.append(
+            (
+                _BATCH,
+                context.query,
+                list(context.items),
+                context.cutoff,
+                values.copy(),
+                hits,
+                bounds,
+            )
+        )
+        return values
+
+
+class _BatchContext:
+    """State carried between :meth:`RecordingCounting.batch_prepare` and finish."""
+
+    __slots__ = ("owner", "query", "items", "cutoff", "values", "hits", "query_array", "grouped")
+
+    def __init__(self, owner, query, items, cutoff, values, hits, query_array, grouped) -> None:
+        self.owner = owner
+        self.query = query
+        self.items = list(items)
+        self.cutoff = cutoff
+        self.values = values
+        self.hits = hits
+        self.query_array = query_array
+        self.grouped = grouped
+
+    def payload(self) -> tuple:
+        """The picklable pure-compute input for :func:`compute_batch_groups`."""
+        return (
+            self.owner.inner,
+            self.query_array,
+            [tensor for _indexes, tensor in self.grouped],
+            self.cutoff,
+            self.owner.prefilter,
+        )
+
+
+def compute_batch_groups(
+    payload: tuple,
+) -> List[Tuple[np.ndarray, Optional[np.ndarray]]]:
+    """Pure kernel phase of a batched probe: bounds + grouped DP sweeps.
+
+    ``payload`` is ``(distance, query_array, tensors, cutoff, prefilter)``
+    -- everything picklable, no cache, no counters -- so this function can
+    run in a process-pool child exactly as it runs inline.  Returns one
+    ``(values, bounds)`` pair per tensor; ``bounds`` is ``None`` when the
+    prefilter did not run.  Pairs pruned by a bound get ``inf`` values, the
+    same early-abandon contract as :meth:`Distance.batch`.
+    """
+    distance, query_array, tensors, cutoff, prefilter = payload
+    results: List[Tuple[np.ndarray, Optional[np.ndarray]]] = []
+    for tensor in tensors:
+        bounds: Optional[np.ndarray] = None
+        values = np.empty(tensor.shape[0], dtype=np.float64)
+        survivors = np.arange(tensor.shape[0])
+        if prefilter and cutoff is not None:
+            bounds = combined_batch_bound(distance, query_array, tensor)
+            pruned_mask = bounds > cutoff
+            values[pruned_mask] = _INF
+            survivors = np.nonzero(~pruned_mask)[0]
+        if len(survivors):
+            fresh = distance.compute_batch(
+                query_array,
+                tensor[survivors],
+                None if cutoff is None else float(cutoff),
+            )
+            values[survivors] = fresh
+        results.append((values, bounds))
+    return results
+
+
+class RecordingVerifyCache:
+    """A per-unit stand-in for the cache handed to chain verification.
+
+    Verification's ``_measure`` helper drives the cache through exactly two
+    operations -- ``lookup(first, second, cutoff)`` then, on a miss,
+    ``store(first, second, value, cutoff)`` -- and counts hits and fresh
+    kernels itself.  This duck-type routes both through the unit overlay and
+    logs ``(first, second, cutoff, value, hit)`` tuples for
+    :func:`replay_verify_log`.
+    """
+
+    def __init__(self, base: Optional[DistanceCache]) -> None:
+        self._overlay = _Overlay(base)
+        self.log: List[tuple] = []
+
+    def lookup(
+        self, first: Sequence, second: Sequence, cutoff: Optional[float] = None
+    ) -> Optional[float]:
+        value = self._overlay.lookup(first, second, cutoff=cutoff)
+        if value is not None:
+            self.log.append((first, second, cutoff, value, True))
+        return value
+
+    def store(
+        self, first: Sequence, second: Sequence, value: float, cutoff: Optional[float] = None
+    ) -> None:
+        self._overlay.store(first, second, value, cutoff=cutoff)
+        self.log.append((first, second, cutoff, value, False))
+
+
+def replay_probe_log(log: List[tuple], counting) -> None:
+    """Re-run a probe unit's request stream against the real cache/counter.
+
+    ``counting`` is the index's live
+    :class:`~repro.indexing.stats.CountingDistance`.  For every logged
+    request the replay decides hit vs fresh vs prefilter-pruned exactly as
+    the serial path would have -- using the *real* cache state, which at
+    this point includes the stores of every earlier unit -- and applies the
+    stores in serial order.  No kernels run here.
+    """
+    cache, counter, prefilter = counting.cache, counting.counter, counting.prefilter
+    for record in log:
+        tag = record[0]
+        if tag == _CALL:
+            _tag, first, second, value, _hit, cacheable = record
+            if cache is not None and cacheable:
+                cached = cache.lookup(first, second)
+                if cached is not None:
+                    counter.record_cache_hit()
+                    continue
+                counter.increment()
+                cache.store(first, second, value)
+            else:
+                counter.increment()
+        elif tag == _BOUNDED:
+            _tag, first, second, cutoff, value, _hit, cacheable, bound = record
+            if cache is not None and cacheable:
+                cached = cache.lookup(first, second, cutoff=cutoff)
+                if cached is not None:
+                    counter.record_cache_hit()
+                    continue
+            if prefilter and bound is not None:
+                pruned = bound > cutoff
+                counter.record_prefilter(1, 1 if pruned else 0)
+                if pruned:
+                    if cache is not None and cacheable:
+                        cache.store(first, second, _INF, cutoff=cutoff)
+                    continue
+            counter.increment()
+            if cache is not None and cacheable:
+                cache.store(first, second, value, cutoff=cutoff)
+        else:  # _BATCH
+            _tag, query, items, cutoff, values, _hits, bounds = record
+            pending: List[int] = []
+            for index, item in enumerate(items):
+                if cache is not None and DistanceCache.cacheable(query, item):
+                    cached = cache.lookup(query, item, cutoff=cutoff)
+                    if cached is not None:
+                        counter.record_cache_hit()
+                        continue
+                pending.append(index)
+            for index in pending:
+                item = items[index]
+                bound = bounds[index]
+                if prefilter and cutoff is not None and bound is not None:
+                    pruned = bound > cutoff
+                    counter.record_prefilter(1, 1 if pruned else 0)
+                    if pruned:
+                        if cache is not None and DistanceCache.cacheable(query, item):
+                            cache.store(query, item, _INF, cutoff=cutoff)
+                        continue
+                counter.increment()
+                if cache is not None and DistanceCache.cacheable(query, item):
+                    cache.store(query, item, float(values[index]), cutoff=cutoff)
+
+
+def replay_verify_log(log: List[tuple], cache: Optional[DistanceCache], counter) -> None:
+    """Re-run a verification unit's request stream; see :func:`replay_probe_log`.
+
+    ``counter`` follows the verification counter protocol (``count`` /
+    ``cache_hits`` attributes).
+    """
+    for first, second, cutoff, value, _hit in log:
+        if cache is not None:
+            cached = cache.lookup(first, second, cutoff=cutoff)
+            if cached is not None:
+                counter.cache_hits += 1
+                continue
+            counter.count += 1
+            cache.store(first, second, value, cutoff=cutoff)
+        else:
+            counter.count += 1

@@ -19,13 +19,14 @@ Two details matter for faithfully reproducing the paper's evaluation:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Hashable, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.distances.base import Distance, SequenceLike
 from repro.distances.cache import DistanceCache
+from repro.distances.recording import RecordingCounting, replay_probe_log
 from repro.exceptions import DistanceError, IndexError_
 from repro.indexing.stats import CountingDistance, DistanceCounter, IndexStats
 
@@ -49,6 +50,156 @@ class RangeMatch:
     key: Hashable
     item: object
     distance: Optional[float]
+
+
+@dataclass
+class QueryWorkUnit:
+    """One independently executable slice of a batched range query.
+
+    A unit answers (part of) the range query at ``position`` in the batch.
+    ``search`` runs it to completion against a counting context (the
+    index's live :class:`~repro.indexing.stats.CountingDistance` under the
+    serial executor, a per-unit
+    :class:`~repro.distances.recording.RecordingCounting` under a parallel
+    one) and returns ``(order_key, match)`` pairs; the runner merges the
+    units of one query position and sorts by ``order_key``, which is how a
+    split probe (the linear scan's per-shape-group units) reassembles the
+    exact serial result order.
+
+    Units that can ship their kernel phase to a process pool also provide
+    ``prepare`` (parent-side: cache lookups + payload construction),
+    ``remote`` (a picklable module-level function), and ``finish``
+    (parent-side: fold the child's values into matches).
+    """
+
+    position: int
+    search: Callable[[Any], List[Tuple[int, RangeMatch]]]
+    prepare: Optional[Callable[[Any], Tuple[Any, Any]]] = None
+    remote: Optional[Callable[[Any], Any]] = None
+    finish: Optional[Callable[[Any, Any, Any], List[Tuple[int, RangeMatch]]]] = None
+    #: Display label for diagnostics (index name + split description).
+    label: str = field(default="")
+
+
+def task_chunk_size(unit_count: int, workers: int) -> int:
+    """How many work units ride in one scheduled task.
+
+    Probes routinely produce a few thousand small units (one per segment,
+    or per segment x shape group); scheduling each as its own future costs
+    more than the unit's work.  Four chunks per worker keeps the pool busy
+    while amortising the per-future overhead.
+    """
+    return max(1, (unit_count + 4 * workers - 1) // (4 * workers))
+
+
+def chunk_positions(count: int, workers: int) -> List[List[int]]:
+    """Contiguous position chunks for scheduling ``count`` units.
+
+    Contiguity matters: consumers replay unit logs chunk by chunk, and
+    ascending contiguous chunks preserve the global unit order the
+    serial-equivalence replay depends on.
+    """
+    size = task_chunk_size(count, workers)
+    return [
+        list(range(start, min(start + size, count))) for start in range(0, count, size)
+    ]
+
+
+def run_query_work_units(
+    index: "MetricIndex",
+    units: List[QueryWorkUnit],
+    query_count: int,
+    executor,
+) -> Tuple[List[List[RangeMatch]], float]:
+    """Execute ``units`` on ``executor`` with serial-equivalent accounting.
+
+    Each unit gets a private
+    :class:`~repro.distances.recording.RecordingCounting` over the index's
+    cache; after the executor drains, the unit logs are replayed *in unit
+    order* into the index's live counter and cache, so the counters, the
+    cache content, and the eviction order come out exactly as a serial run
+    would have left them.  Returns one merged match list per query position
+    plus the summed per-worker CPU seconds.
+
+    Scheduling granularity: the process executor receives one task per
+    unit (its pool already chunks the picklable payloads); every other
+    executor receives contiguous *chunks* of units per task, which
+    amortises the future/scheduling overhead that thousands of small
+    probe units would otherwise pay.
+    """
+    # Imported lazily: the executor layer lives in ``repro.core`` which
+    # imports this module at package-init time.
+    from repro.core.executor import WorkTask
+
+    counting = index._counting
+    use_remote = executor.name == "process"
+    if use_remote and not any(
+        unit.remote is not None and unit.prepare is not None for unit in units
+    ):
+        # Nothing to ship to the pool and local tasks run one by one in
+        # the parent anyway: execute the units directly against the live
+        # counting context -- plain serial semantics, zero bookkeeping.
+        merged_serial: List[List[Tuple[int, RangeMatch]]] = [
+            [] for _ in range(query_count)
+        ]
+        for unit in units:
+            merged_serial[unit.position].extend(unit.search(counting))
+        per_query_serial: List[List[RangeMatch]] = []
+        for keyed in merged_serial:
+            keyed.sort(key=lambda pair: pair[0])
+            per_query_serial.append([match for _key, match in keyed])
+        return per_query_serial, 0.0
+
+    recordings: List[RecordingCounting] = [
+        RecordingCounting(counting.inner, counting.cache, counting.prefilter)
+        for _unit in units
+    ]
+    tasks: List[WorkTask] = []
+    if use_remote:
+        for unit, recording in zip(units, recordings):
+
+            def local(unit=unit, recording=recording):
+                return [unit.search(recording)]
+
+            if unit.remote is not None and unit.prepare is not None:
+                context_box: dict = {}
+
+                def prepare(unit=unit, recording=recording, box=context_box):
+                    context, payload = unit.prepare(recording)
+                    box["context"] = context
+                    return payload
+
+                def finish(out, unit=unit, recording=recording, box=context_box):
+                    return [unit.finish(recording, box["context"], out)]
+
+                tasks.append(
+                    WorkTask(local, prepare=prepare, remote=unit.remote, finish=finish)
+                )
+            else:
+                tasks.append(WorkTask(local))
+        chunks = [[position] for position in range(len(units))]
+    else:
+        chunks = chunk_positions(len(units), executor.workers)
+        for positions in chunks:
+
+            def local(positions=positions):
+                return [units[p].search(recordings[p]) for p in positions]
+
+            tasks.append(WorkTask(local))
+
+    results = executor.run(tasks)
+    merged: List[List[Tuple[int, RangeMatch]]] = [[] for _ in range(query_count)]
+    cpu_seconds = 0.0
+    for positions, result in zip(chunks, results):
+        cpu_seconds += result.worker_cpu_seconds
+        for position, keyed_matches in zip(positions, result.value):
+            replay_probe_log(recordings[position].log, counting)
+            merged[units[position].position].extend(keyed_matches)
+    per_query: List[List[RangeMatch]] = []
+    for keyed in merged:
+        keyed.sort(key=lambda pair: pair[0])
+        per_query.append([match for _key, match in keyed])
+    return per_query, cpu_seconds
 
 
 class MetricIndex(abc.ABC):
@@ -188,22 +339,95 @@ class MetricIndex(abc.ABC):
         """Remove and return the item stored under ``key``."""
 
     @abc.abstractmethod
+    def _range_search(
+        self, query: SequenceLike, radius: float, counting
+    ) -> List[RangeMatch]:
+        """Range query against an explicit counting context.
+
+        ``counting`` supplies every distance evaluation (``counting(a, b)``,
+        ``counting.bounded``, ``counting.batch``); implementations must not
+        touch ``self._counting`` directly, which is what lets one built
+        structure serve concurrent work units that each carry their own
+        recording context.  Traversals must treat the structure as
+        read-only -- lazy rebuilds belong in :meth:`prepare_queries`.
+        """
+
     def range_query(self, query: SequenceLike, radius: float) -> List[RangeMatch]:
         """Return every stored item within ``radius`` of ``query``."""
+        self.prepare_queries()
+        return self._range_search(query, radius, self._counting)
+
+    def prepare_queries(self) -> None:
+        """Bring the structure up to date before (possibly parallel) queries.
+
+        Indexes with a lazy-rebuild staleness policy (the vp-tree's
+        re-balance, the reference index's re-election) override this to
+        perform the rebuild *before* work units fan out, because the
+        rebuild mutates the structure that concurrent traversals read.
+        The default does nothing.
+        """
 
     def batch_range_query(
-        self, queries: Iterable[SequenceLike], radius: float
+        self, queries: Iterable[SequenceLike], radius: float, executor=None
     ) -> List[List[RangeMatch]]:
         """Answer many range queries at once; one result list per query.
 
-        The default delegates to :meth:`range_query` per query, so every
-        index supports the batched entry point; implementations with a
-        genuinely batched execution (the linear scan's grouped kernel
-        sweeps, the reference index's batched reference distances) override
-        it.  Results are guaranteed to be identical to running the queries
-        one at a time.
+        Without an ``executor`` (or with the serial one), execution follows
+        the index's serial batch path -- :meth:`range_query` per query by
+        default; implementations with a genuinely batched execution (the
+        linear scan's grouped kernel sweeps, the reference index's batched
+        reference distances) override :meth:`_serial_batch_range_query`.
+        With a parallel executor, the query set is split into the work
+        units of :meth:`query_work_units` and fanned out; results *and*
+        work counters are identical to the serial path either way (see
+        :func:`run_query_work_units`).
         """
+        queries = list(queries)
+        if executor is not None and executor.is_parallel:
+            return self.parallel_batch_range_query(queries, radius, executor)
+        return self._serial_batch_range_query(queries, radius)
+
+    def _serial_batch_range_query(
+        self, queries: List[SequenceLike], radius: float
+    ) -> List[List[RangeMatch]]:
+        """Serial batched execution (subclass hook; default per-query)."""
         return [self.range_query(query, radius) for query in queries]
+
+    def parallel_batch_range_query(
+        self, queries: List[SequenceLike], radius: float, executor
+    ) -> List[List[RangeMatch]]:
+        """Executor-driven batched execution over :meth:`query_work_units`."""
+        if radius < 0:
+            raise IndexError_(f"radius must be non-negative, got {radius}")
+        units = self.query_work_units(queries, radius)
+        per_query, _cpu = run_query_work_units(self, units, len(queries), executor)
+        return per_query
+
+    def query_work_units(
+        self, queries: List[SequenceLike], radius: float
+    ) -> List[QueryWorkUnit]:
+        """Split a batched range query into independent work units.
+
+        The default yields one unit per query, each running the full
+        :meth:`_range_search` -- enough parallelism for the matcher's
+        many-segment probes.  Indexes whose probes decompose further
+        override this (the linear scan splits every query into one unit
+        per same-shape group of stored items, each a single batched kernel
+        sweep that can also ship to a process pool).  Calling this method
+        also performs :meth:`prepare_queries`.
+        """
+        self.prepare_queries()
+        units: List[QueryWorkUnit] = []
+        for position, query in enumerate(queries):
+
+            def search(counting, query=query):
+                matches = self._range_search(query, radius, counting)
+                return list(enumerate(matches))
+
+            units.append(
+                QueryWorkUnit(position=position, search=search, label=self.index_name)
+            )
+        return units
 
     # ------------------------------------------------------------------ #
     # Incremental updates (insert / delete, with a staleness policy)

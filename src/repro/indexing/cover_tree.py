@@ -183,7 +183,9 @@ class CoverTree(MetricIndex):
     # ------------------------------------------------------------------ #
     # Range query
     # ------------------------------------------------------------------ #
-    def range_query(self, query: SequenceLike, radius: float) -> List[RangeMatch]:
+    def _range_search(
+        self, query: SequenceLike, radius: float, counting
+    ) -> List[RangeMatch]:
         if radius < 0:
             raise IndexError_(f"radius must be non-negative, got {radius}")
         if self._root is None:
@@ -192,7 +194,7 @@ class CoverTree(MetricIndex):
         stack: List[Tuple[_TreeNode, int]] = [(self._root, self._max_level)]
         while stack:
             node, level = stack.pop()
-            value = self._d(query, node.item)
+            value = counting(query, node.item)
             if value <= radius:
                 matches.append(RangeMatch(node.key, node.item, value))
             subtree = self.radius(level + 1)

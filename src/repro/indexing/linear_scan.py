@@ -9,12 +9,13 @@ computations for a query over ``n`` items achieves a pruning ratio of
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, List, Optional
+from typing import Hashable, List, Optional
 
-from repro.distances.base import Distance, SequenceLike
+from repro.distances.base import Distance, SequenceLike, as_array
 from repro.distances.cache import DistanceCache
+from repro.distances.recording import compute_batch_groups
 from repro.exceptions import IndexError_
-from repro.indexing.base import MetricIndex, RangeMatch
+from repro.indexing.base import MetricIndex, QueryWorkUnit, RangeMatch
 from repro.indexing.stats import DistanceCounter
 
 
@@ -41,6 +42,11 @@ class LinearScanIndex(MetricIndex):
     by shape and each group's distances are computed by one vectorized
     kernel sweep (see :meth:`~repro.distances.base.Distance.batch`), which
     is substantially faster than per-pair calls for the elastic measures.
+    Under a parallel executor every ``(query, shape group)`` pair becomes
+    its own work unit -- one grouped kernel sweep -- and the units carry a
+    picklable remote phase, so a process pool receives chunked batches of
+    window tensors and returns raw kernel values while cache lookups and
+    accounting stay in the parent.
     """
 
     index_name = "linear-scan"
@@ -74,18 +80,20 @@ class LinearScanIndex(MetricIndex):
         except KeyError:
             raise IndexError_(f"no item with key {key!r} in this index") from None
 
-    def range_query(self, query: SequenceLike, radius: float) -> List[RangeMatch]:
+    def _range_search(
+        self, query: SequenceLike, radius: float, counting
+    ) -> List[RangeMatch]:
         if radius < 0:
             raise IndexError_(f"radius must be non-negative, got {radius}")
         matches: List[RangeMatch] = []
         for key, item in self._items.items():
-            value = self._d_bounded(query, item, radius)
+            value = counting.bounded(query, item, radius)
             if value <= radius:
                 matches.append(RangeMatch(key, item, value))
         return matches
 
-    def batch_range_query(
-        self, queries: Iterable[SequenceLike], radius: float
+    def _serial_batch_range_query(
+        self, queries: List[SequenceLike], radius: float
     ) -> List[List[RangeMatch]]:
         """One grouped kernel sweep per query instead of per-pair calls.
 
@@ -109,3 +117,62 @@ class LinearScanIndex(MetricIndex):
                         matches.append(RangeMatch(key, item, float(value)))
             results.append(matches)
         return results
+
+    def query_work_units(
+        self, queries: List[SequenceLike], radius: float
+    ) -> List[QueryWorkUnit]:
+        """One work unit per ``(query, shape group)``: a single kernel sweep.
+
+        Each unit runs cache lookups over its group, prefilters and sweeps
+        the pending pairs with one batched kernel, and reports matches
+        keyed by scan position so the merged result reproduces the serial
+        insertion order.  The pure kernel phase is exposed as a picklable
+        remote call (:func:`~repro.distances.recording.compute_batch_groups`)
+        for the process executor.
+        """
+        keys = list(self._items.keys())
+        items = [self._items[key] for key in keys]
+        groups: dict = {}
+        for scan_position, item in enumerate(items):
+            groups.setdefault(as_array(item).shape, []).append(scan_position)
+
+        units: List[QueryWorkUnit] = []
+        for position, query in enumerate(queries):
+            for shape, scan_positions in groups.items():
+                group_keys = [keys[i] for i in scan_positions]
+                group_items = [items[i] for i in scan_positions]
+
+                def matches_from(values, group_keys=group_keys, group_items=group_items,
+                                 scan_positions=scan_positions):
+                    found = []
+                    for scan_position, key, item, value in zip(
+                        scan_positions, group_keys, group_items, values
+                    ):
+                        if value <= radius:
+                            found.append((scan_position, RangeMatch(key, item, float(value))))
+                    return found
+
+                def search(counting, query=query, group_items=group_items,
+                           matches_from=matches_from):
+                    values = counting.batch(query, group_items, cutoff=radius)
+                    return matches_from(values)
+
+                def prepare(counting, query=query, group_items=group_items):
+                    context = counting.batch_prepare(query, group_items, radius)
+                    return context, context.payload()
+
+                def finish(counting, context, out, matches_from=matches_from):
+                    values = counting.batch_finish(context, out)
+                    return matches_from(values)
+
+                units.append(
+                    QueryWorkUnit(
+                        position=position,
+                        search=search,
+                        prepare=prepare,
+                        remote=compute_batch_groups,
+                        finish=finish,
+                        label=f"{self.index_name} {shape}",
+                    )
+                )
+        return units

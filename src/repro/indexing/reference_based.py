@@ -305,22 +305,27 @@ class ReferenceIndex(MetricIndex):
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
-    def range_query(self, query: SequenceLike, radius: float) -> List[RangeMatch]:
+    def prepare_queries(self) -> None:
+        """Perform the lazily scheduled re-election before queries fan out."""
+        if self._items and self._dirty:
+            self.build()
+
+    def _range_search(
+        self, query: SequenceLike, radius: float, counting
+    ) -> List[RangeMatch]:
         if radius < 0:
             raise IndexError_(f"radius must be non-negative, got {radius}")
         if not self._items:
             return []
         if self._dirty:
             self.build()
-        query_vector = np.empty(len(self._reference_items), dtype=np.float64)
-        reference_values: Dict[Hashable, float] = {}
-        for index, (ref_key, reference) in enumerate(
-            zip(self._reference_keys, self._reference_items)
-        ):
-            value = self._d(query, reference)
-            query_vector[index] = value
-            reference_values[ref_key] = value
-        return self._filter_with_bounds(query, query_vector, reference_values, radius)
+        # The k reference distances are computed by one grouped kernel sweep
+        # (:meth:`~repro.distances.base.Distance.batch`) instead of k
+        # separate calls; the triangle-inequality filtering and the
+        # straddler checks are unaffected, so the results are identical.
+        query_vector = counting.batch(query, self._reference_items)
+        reference_values = dict(zip(self._reference_keys, query_vector.tolist()))
+        return self._filter_with_bounds(query, query_vector, reference_values, radius, counting)
 
     def _filter_with_bounds(
         self,
@@ -328,6 +333,7 @@ class ReferenceIndex(MetricIndex):
         query_vector: np.ndarray,
         reference_values: Dict[Hashable, float],
         radius: float,
+        counting,
     ) -> List[RangeMatch]:
         """Triangle-inequality filtering given the query-to-reference vector."""
         matches: List[RangeMatch] = []
@@ -346,36 +352,10 @@ class ReferenceIndex(MetricIndex):
             if upper <= radius:
                 matches.append(RangeMatch(key, item, None))
                 continue
-            value = self._d(query, item)
+            value = counting(query, item)
             if value <= radius:
                 matches.append(RangeMatch(key, item, value))
         return matches
-
-    def batch_range_query(
-        self, queries: "TypingSequence[SequenceLike]", radius: float
-    ) -> List[List[RangeMatch]]:
-        """Range queries with batched query-to-reference distance kernels.
-
-        The ``k`` reference distances each query needs are computed by one
-        grouped kernel sweep (:meth:`~repro.distances.base.Distance.batch`)
-        instead of ``k`` separate calls; the triangle-inequality filtering
-        and the straddler checks then proceed exactly as in
-        :meth:`range_query`, so the results are identical.
-        """
-        if radius < 0:
-            raise IndexError_(f"radius must be non-negative, got {radius}")
-        if not self._items:
-            return [[] for _ in queries]
-        if self._dirty:
-            self.build()
-        results: List[List[RangeMatch]] = []
-        for query in queries:
-            query_vector = self._counting.batch(query, self._reference_items)
-            reference_values = dict(zip(self._reference_keys, query_vector.tolist()))
-            results.append(
-                self._filter_with_bounds(query, query_vector, reference_values, radius)
-            )
-        return results
 
     # ------------------------------------------------------------------ #
     # Snapshot support

@@ -35,7 +35,7 @@ the paper's Figure 2 motivates for the multi-parent design.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.distances.base import Distance, SequenceLike
 from repro.distances.cache import DistanceCache
@@ -323,14 +323,18 @@ class ReferenceNet(MetricIndex):
     # ------------------------------------------------------------------ #
     # Range query (Algorithm 3)
     # ------------------------------------------------------------------ #
-    def range_query(self, query: SequenceLike, radius: float) -> List[RangeMatch]:
+    def _range_search(
+        self, query: SequenceLike, radius: float, counting
+    ) -> List[RangeMatch]:
         """All items within ``radius`` of ``query``.
 
         Levels are processed from the top down, exactly as in the paper's
         Algorithm 3: a reference's distance is computed only if none of the
         lists containing it (nor Lemma 4 applied to an ancestor) already
         decided it.  Items proven to match through the triangle inequality
-        alone are returned with ``distance=None``.
+        alone are returned with ``distance=None``.  The traversal reads the
+        structure only, so concurrent work units may run it against their
+        own ``counting`` contexts.
         """
         if radius < 0:
             raise IndexError_(f"radius must be non-negative, got {radius}")
@@ -347,7 +351,7 @@ class ReferenceNet(MetricIndex):
                 if node.key in decided:
                     continue
                 decided.add(node.key)
-                value = self._d(query, node.item)
+                value = counting(query, node.item)
                 if value <= radius:
                     matches.append(RangeMatch(node.key, node.item, value))
                 subtree = self._subtree_radius(node.home_level)
@@ -361,8 +365,8 @@ class ReferenceNet(MetricIndex):
                 self._route_children(node, value, radius, decided, matches, pending)
         return matches
 
-    def batch_range_query(
-        self, queries: Iterable[SequenceLike], radius: float
+    def _serial_batch_range_query(
+        self, queries: List[SequenceLike], radius: float
     ) -> List[List[RangeMatch]]:
         """Range queries with reference-distance reuse across the batch.
 
@@ -382,6 +386,21 @@ class ReferenceNet(MetricIndex):
             finally:
                 self._counting.cache = None
         return [self.range_query(query, radius) for query in queries]
+
+    def parallel_batch_range_query(
+        self, queries: List[SequenceLike], radius: float, executor
+    ) -> List[List[RangeMatch]]:
+        """Executor fan-out over per-query traversal units.
+
+        Cross-query reference-distance reuse flows through the attached
+        cache; without one there is no shared state for the units to reuse
+        (the serial path fakes it with a batch-local cache), so the
+        cache-less net falls back to serial batch execution rather than
+        silently recomputing every repeated reference distance per unit.
+        """
+        if self._counting.cache is None:
+            return self._serial_batch_range_query(queries, radius)
+        return super().parallel_batch_range_query(queries, radius, executor)
 
     def _route_children(
         self,

@@ -305,7 +305,14 @@ class VPTree(MetricIndex):
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
-    def range_query(self, query: SequenceLike, radius: float) -> List[RangeMatch]:
+    def prepare_queries(self) -> None:
+        """Perform the lazily scheduled re-balance before queries fan out."""
+        if self._items and self._dirty:
+            self.build()
+
+    def _range_search(
+        self, query: SequenceLike, radius: float, counting
+    ) -> List[RangeMatch]:
         if radius < 0:
             raise IndexError_(f"radius must be non-negative, got {radius}")
         if not self._items:
@@ -318,7 +325,7 @@ class VPTree(MetricIndex):
             node = stack.pop()
             if node is None:
                 continue
-            value = self._d(query, node.item)
+            value = counting(query, node.item)
             if value <= radius:
                 matches.append(RangeMatch(node.key, node.item, value))
             # Items in the inner subtree are within ``threshold`` of the

@@ -41,6 +41,12 @@ _FORMAT_VERSION = 1
 #: index structure + cache pool).  Bump on any incompatible change.
 _SNAPSHOT_VERSION = 1
 
+#: Version of the *sharded* matcher-snapshot layout: a ``shards`` manifest
+#: plus one version-1 single-matcher payload per shard under an ``s{i}_``
+#: array prefix.  Plain matcher snapshots keep writing version 1, so older
+#: readers stay compatible with everything but sharded snapshots.
+_SHARDED_SNAPSHOT_VERSION = 2
+
 PathLike = Union[str, Path]
 
 
@@ -171,7 +177,7 @@ def _with_suffix(path: Path) -> Path:
 # --------------------------------------------------------------------- #
 # Matcher snapshots: database + config + built index + distance cache
 # --------------------------------------------------------------------- #
-def _export_cache(cache, kind: SequenceKind) -> Tuple[dict, dict]:
+def _export_cache(cache, kind: SequenceKind, prefix: str = "") -> Tuple[dict, dict]:
     """Serialize the distance-cache contents into compact npz arrays.
 
     The cache keys repeat the same windows and segments over and over, so
@@ -215,23 +221,23 @@ def _export_cache(cache, kind: SequenceKind) -> Tuple[dict, dict]:
     else:
         data = np.empty(0, dtype=dtype)
     arrays = {
-        "cache_pool_data": data,
-        "cache_pool_lengths": lengths,
-        "cache_pool_dims": dims,
-        "cache_entry_first": np.array(firsts, dtype=np.int64),
-        "cache_entry_second": np.array(seconds, dtype=np.int64),
-        "cache_entry_values": np.array(values, dtype=np.float64),
-        "cache_entry_exact": np.array(exacts, dtype=np.uint8),
+        f"{prefix}cache_pool_data": data,
+        f"{prefix}cache_pool_lengths": lengths,
+        f"{prefix}cache_pool_dims": dims,
+        f"{prefix}cache_entry_first": np.array(firsts, dtype=np.int64),
+        f"{prefix}cache_entry_second": np.array(seconds, dtype=np.int64),
+        f"{prefix}cache_entry_values": np.array(values, dtype=np.float64),
+        f"{prefix}cache_entry_exact": np.array(exacts, dtype=np.uint8),
     }
     meta = {"entries": len(firsts), "pool": len(pool_sequences)}
     return arrays, meta
 
 
-def _restore_cache(archive, kind: SequenceKind, cache) -> None:
+def _restore_cache(archive, kind: SequenceKind, cache, prefix: str = "") -> None:
     """Seed ``cache`` with the entries exported by :func:`_export_cache`."""
-    data = archive["cache_pool_data"]
-    lengths = archive["cache_pool_lengths"]
-    dims = archive["cache_pool_dims"]
+    data = archive[f"{prefix}cache_pool_data"]
+    lengths = archive[f"{prefix}cache_pool_lengths"]
+    dims = archive[f"{prefix}cache_pool_dims"]
     pool: List[Sequence] = []
     offset = 0
     for length, dim in zip(lengths.tolist(), dims.tolist()):
@@ -241,12 +247,81 @@ def _restore_cache(archive, kind: SequenceKind, cache) -> None:
         if dim:
             values = values.reshape(length, dim)
         pool.append(Sequence(values, kind))
-    firsts = archive["cache_entry_first"].tolist()
-    seconds = archive["cache_entry_second"].tolist()
-    values = archive["cache_entry_values"].tolist()
-    exacts = archive["cache_entry_exact"].tolist()
+    firsts = archive[f"{prefix}cache_entry_first"].tolist()
+    seconds = archive[f"{prefix}cache_entry_second"].tolist()
+    values = archive[f"{prefix}cache_entry_values"].tolist()
+    exacts = archive[f"{prefix}cache_entry_exact"].tolist()
     for first, second, value, exact in zip(firsts, seconds, values, exacts):
         cache.seed(pool[first], pool[second], value, bool(exact))
+
+
+def _matcher_payload(matcher, prefix: str = "") -> Tuple[dict, dict]:
+    """One matcher's snapshot as ``(arrays, metadata)`` under ``prefix``.
+
+    Shared by the plain and sharded writers: a sharded snapshot is N of
+    these payloads under ``s{i}_`` prefixes plus a manifest.
+    """
+    database = matcher.database
+    arrays, db_meta = _database_arrays(database, prefix=f"{prefix}db_seq")
+    cache_arrays, cache_meta = _export_cache(
+        matcher.distance_cache, database.kind, prefix=prefix
+    )
+    arrays.update(cache_arrays)
+    metadata = {
+        "database": db_meta,
+        "config": asdict(matcher.config),
+        "distance": matcher.distance.name,
+        "window_keys": [list(window.key) for window in matcher.windows],
+        "index": {
+            "name": matcher.index.index_name,
+            "structure": matcher.index.export_structure(),
+        },
+        "cache": cache_meta,
+    }
+    return arrays, metadata
+
+
+def _matcher_from_payload(archive, metadata: dict, prefix: str, distance, cache):
+    """Restore one matcher from a payload written by :func:`_matcher_payload`."""
+    # Imported here: the core layer must stay importable without storage.
+    from repro.core.config import MatcherConfig
+    from repro.core.matcher import SubsequenceMatcher, build_index
+    from repro.core.segmentation import partition_database
+    from repro.distances.cache import DistanceCache
+    from repro.distances.registry import get_distance
+
+    database = _database_from(archive, metadata["database"], prefix=f"{prefix}db_seq")
+    config = MatcherConfig(**metadata["config"])
+    saved_name = metadata["distance"]
+    if distance is None:
+        distance = get_distance(saved_name)
+    elif distance.name != saved_name:
+        raise StorageError(
+            f"snapshot was built with distance {saved_name!r} but "
+            f"{distance.name!r} was supplied"
+        )
+    windows = partition_database(database, config)
+    saved_keys = [tuple(key) for key in metadata["window_keys"]]
+    if [window.key for window in windows] != saved_keys:
+        raise StorageError(
+            "snapshot is internally inconsistent: the persisted window "
+            "keys do not match the windows derived from the persisted "
+            "database"
+        )
+    target_cache = (
+        cache if cache is not None else DistanceCache(max_entries=config.cache_max_entries)
+    )
+    _restore_cache(archive, database.kind, target_cache, prefix=prefix)
+    index = build_index(config, distance, target_cache)
+    structure = metadata["index"]["structure"]
+    structure["keys"] = [tuple(key) for key in structure["keys"]]
+    payloads = {window.key: window.sequence for window in windows}
+    index.restore_structure(structure, payloads)
+    matcher = SubsequenceMatcher._restore(
+        database, distance, config, target_cache, windows, index
+    )
+    matcher._owns_cache = cache is None
+    return matcher
 
 
 def save_matcher(matcher, path: PathLike) -> None:
@@ -263,24 +338,38 @@ def save_matcher(matcher, path: PathLike) -> None:
     the distance-cache contents.  :func:`load_matcher` therefore answers
     queries immediately, with the same results *and the same work counters*
     as the matcher that was saved -- no ``refresh()``, no re-measured pairs.
+
+    A :class:`~repro.core.sharded.ShardedMatcher` round-trips too: its
+    snapshot (layout version 2) carries one single-matcher payload per
+    shard plus the shard assignment and round-robin cursor, so a loaded
+    sharded matcher keeps answering queries -- and routing future
+    :meth:`~repro.core.sharded.ShardedMatcher.add_sequence` calls -- exactly
+    like the one that was saved.
     """
+    from repro.core.sharded import ShardedMatcher
+
     path = Path(path)
-    database = matcher.database
-    arrays, db_meta = _database_arrays(database, prefix="db_seq")
-    cache_arrays, cache_meta = _export_cache(matcher.distance_cache, database.kind)
-    arrays.update(cache_arrays)
-    metadata = {
-        "snapshot_version": _SNAPSHOT_VERSION,
-        "database": db_meta,
-        "config": asdict(matcher.config),
-        "distance": matcher.distance.name,
-        "window_keys": [list(window.key) for window in matcher.windows],
-        "index": {
-            "name": matcher.index.index_name,
-            "structure": matcher.index.export_structure(),
-        },
-        "cache": cache_meta,
-    }
+    if isinstance(matcher, ShardedMatcher):
+        arrays: dict = {}
+        shard_payloads = []
+        for position, shard in enumerate(matcher.shards):
+            shard_arrays, shard_meta = _matcher_payload(shard, prefix=f"s{position}_")
+            arrays.update(shard_arrays)
+            shard_payloads.append(shard_meta)
+        metadata = {
+            "snapshot_version": _SHARDED_SNAPSHOT_VERSION,
+            "sharded": True,
+            "config": asdict(matcher.config),
+            "distance": matcher.distance.name,
+            "database_name": matcher.database.name,
+            "database_ids": matcher.database.ids(),
+            "assignment": matcher._assignment,
+            "assigned": matcher._assigned,
+            "shards": shard_payloads,
+        }
+    else:
+        arrays, metadata = _matcher_payload(matcher)
+        metadata["snapshot_version"] = _SNAPSHOT_VERSION
     arrays["metadata"] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
     try:
         np.savez_compressed(path, **arrays)
@@ -304,67 +393,74 @@ def load_matcher(path: PathLike, distance=None, cache=None):
         Optional externally-owned cache (e.g.
         :func:`repro.distances.cache.shared_cache`) to seed with the
         snapshot's entries; when omitted the matcher owns a private cache
-        sized by the snapshot's ``cache_max_entries``.
+        sized by the snapshot's ``cache_max_entries``.  Sharded snapshots
+        refuse an external cache: their shards own one private cache each
+        (that independence is what keeps sharded statistics deterministic
+        under parallel fan-out).
 
     Returns
     -------
-    SubsequenceMatcher
+    SubsequenceMatcher or ShardedMatcher
         Ready to answer queries with **zero rebuild work**: windows are
         re-derived from the database (pure slicing, no distance
         computations) and validated against the snapshot's key list, and
         the index structure and cache contents come straight from disk.
     """
-    # Imported here: the core layer must stay importable without storage.
     from repro.core.config import MatcherConfig
-    from repro.core.matcher import SubsequenceMatcher, build_index
-    from repro.core.segmentation import partition_database
-    from repro.distances.cache import DistanceCache
+    from repro.core.sharded import ShardedMatcher
     from repro.distances.registry import get_distance
+    from repro.sequences.database import SequenceDatabase
 
     path = Path(path)
     try:
         with np.load(_with_suffix(path), allow_pickle=False) as archive:
             metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
             version = metadata.get("snapshot_version")
-            if version != _SNAPSHOT_VERSION:
-                hint = " (not a snapshot file?)" if version is None else ""
-                raise StorageError(
-                    f"unsupported matcher snapshot version {version!r}; this "
-                    f"build reads version {_SNAPSHOT_VERSION}{hint}"
+            if version == _SNAPSHOT_VERSION:
+                return _matcher_from_payload(archive, metadata, "", distance, cache)
+            if version == _SHARDED_SNAPSHOT_VERSION and metadata.get("sharded"):
+                if cache is not None:
+                    raise StorageError(
+                        "sharded matcher snapshots cannot load into an external "
+                        "cache; each shard owns a private one"
+                    )
+                config = MatcherConfig(**metadata["config"])
+                saved_name = metadata["distance"]
+                if distance is None:
+                    distance = get_distance(saved_name)
+                elif distance.name != saved_name:
+                    raise StorageError(
+                        f"snapshot was built with distance {saved_name!r} but "
+                        f"{distance.name!r} was supplied"
+                    )
+                shards = [
+                    _matcher_from_payload(
+                        archive, shard_meta, f"s{position}_", distance, None
+                    )
+                    for position, shard_meta in enumerate(metadata["shards"])
+                ]
+                database = SequenceDatabase(
+                    shards[0].database.kind if shards else None,
+                    name=metadata["database_name"],
                 )
-            database = _database_from(archive, metadata["database"], prefix="db_seq")
-            config = MatcherConfig(**metadata["config"])
-            saved_name = metadata["distance"]
-            if distance is None:
-                distance = get_distance(saved_name)
-            elif distance.name != saved_name:
-                raise StorageError(
-                    f"snapshot was built with distance {saved_name!r} but "
-                    f"{distance.name!r} was supplied"
+                assignment = {
+                    seq_id: int(shard) for seq_id, shard in metadata["assignment"].items()
+                }
+                for seq_id in metadata["database_ids"]:
+                    database.add(shards[assignment[seq_id]].database[seq_id])
+                return ShardedMatcher._restore(
+                    database,
+                    distance,
+                    config,
+                    shards,
+                    assignment,
+                    int(metadata["assigned"]),
                 )
-            windows = partition_database(database, config)
-            saved_keys = [tuple(key) for key in metadata["window_keys"]]
-            if [window.key for window in windows] != saved_keys:
-                raise StorageError(
-                    "snapshot is internally inconsistent: the persisted window "
-                    "keys do not match the windows derived from the persisted "
-                    "database"
-                )
-            target_cache = (
-                cache
-                if cache is not None
-                else DistanceCache(max_entries=config.cache_max_entries)
+            hint = " (not a snapshot file?)" if version is None else ""
+            raise StorageError(
+                f"unsupported matcher snapshot version {version!r}; this "
+                f"build reads versions {_SNAPSHOT_VERSION} and "
+                f"{_SHARDED_SNAPSHOT_VERSION}{hint}"
             )
-            _restore_cache(archive, database.kind, target_cache)
-            index = build_index(config, distance, target_cache)
-            structure = metadata["index"]["structure"]
-            structure["keys"] = [tuple(key) for key in structure["keys"]]
-            payloads = {window.key: window.sequence for window in windows}
-            index.restore_structure(structure, payloads)
-            matcher = SubsequenceMatcher._restore(
-                database, distance, config, target_cache, windows, index
-            )
-            matcher._owns_cache = cache is None
-            return matcher
     except FileNotFoundError as error:
         raise StorageError(f"no matcher snapshot at {path}") from error

@@ -49,6 +49,74 @@ class TestSearch:
         assert code == 0
         assert "query cut from" in captured.out
 
+    def test_search_executor_and_shards_are_output_invariant(self, generated_db, capsys):
+        """The engine flags change the execution substrate, not the answer."""
+        base = [
+            "search",
+            str(generated_db),
+            "--dataset",
+            "songs",
+            "--radius",
+            "3.0",
+            "--min-length",
+            "20",
+            "--max-shift",
+            "1",
+        ]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--executor", "thread", "--workers", "4"]) == 0
+        thread_out = capsys.readouterr().out
+        assert thread_out == serial_out
+        assert main(base + ["--executor", "thread", "--workers", "4", "--shards", "3"]) == 0
+        sharded_out = capsys.readouterr().out
+        # The sharded matcher reports the same match and the same naive
+        # denominator; its chain/verification counts may differ by shard.
+        assert sharded_out.splitlines()[0] == serial_out.splitlines()[0]
+        assert sharded_out.splitlines()[1] == serial_out.splitlines()[1]
+
+    def test_search_stats_show_executor(self, generated_db, capsys):
+        code = main(
+            [
+                "search",
+                str(generated_db),
+                "--dataset",
+                "songs",
+                "--radius",
+                "3.0",
+                "--min-length",
+                "20",
+                "--executor",
+                "thread",
+                "--workers",
+                "2",
+                "--stats",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "thread (2 workers)" in captured.out
+        assert "stage cpu: probe" in captured.out
+
+    def test_compare_indexes_executor_flag(self, capsys):
+        code = main(
+            [
+                "compare-indexes",
+                "songs",
+                "--windows",
+                "60",
+                "--queries",
+                "2",
+                "--executor",
+                "thread",
+                "--workers",
+                "2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "executor thread" in captured.out
+
     def test_search_stats_table(self, generated_db, capsys):
         code = main(
             [

@@ -173,3 +173,121 @@ class TestCountingDistanceIntegration:
         counting(a, b)
         assert counting.counter.since_checkpoint() == 0
         assert counting.counter.cache_hits_since_checkpoint() == 2
+
+
+class TestThreadSafety:
+    """The cache is shared between concurrently querying matchers and the
+    thread executor's work units, so its table, eviction loop, and
+    statistics must survive a genuine multi-threaded hammering."""
+
+    def test_eight_thread_hammer_via_shared_cache(self):
+        import threading
+
+        from repro.distances import shared_cache
+
+        cache = shared_cache("hammer-test", max_entries=64)
+        sequences = [_seq([float(i), float(i + 1)], seq_id=f"h{i}") for i in range(40)]
+        lookups_done = [0] * 8
+        errors = []
+        barrier = threading.Barrier(8, timeout=10)
+
+        def hammer(worker):
+            try:
+                import numpy as np
+
+                generator = np.random.default_rng(worker)
+                barrier.wait()
+                for step in range(600):
+                    first = sequences[int(generator.integers(len(sequences)))]
+                    second = sequences[int(generator.integers(len(sequences)))]
+                    op = step % 5
+                    if op == 0:
+                        cache.store(first, second, 1.0)
+                    elif op == 1:
+                        cache.store(first, second, 5.0, cutoff=2.0)
+                    elif op == 2:
+                        cache.seed(first, second, 3.0, exact=True)
+                    elif op == 3:
+                        for entry in cache.iter_entries():
+                            assert len(entry) == 4
+                            break
+                    else:
+                        cache.lookup(first, second, cutoff=2.0)
+                        lookups_done[worker] += 1
+                    cache.peek(first, second)
+                    assert len(cache) <= 64
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        hits_before, misses_before = cache.hits, cache.misses
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert all(not thread.is_alive() for thread in threads)
+        # Capacity held under concurrent insertion and eviction.
+        assert len(cache) <= 64
+        # Statistics stayed consistent: every counted lookup is either a
+        # hit or a miss, and peek never touched the tallies.
+        total_lookups = sum(lookups_done)
+        assert (cache.hits - hits_before) + (cache.misses - misses_before) == total_lookups
+        # The surviving entries are well-formed (value, exact) pairs.
+        for first, second, value, exact in cache.iter_entries():
+            assert isinstance(value, float)
+            assert isinstance(exact, bool)
+
+    def test_concurrent_matchers_share_one_cache(self, tmp_path):
+        """Two matchers over one shared cache, queried from two threads."""
+        import threading
+
+        import numpy as np
+
+        from repro import DiscreteFrechet, MatcherConfig, SequenceDatabase, SequenceKind
+        from repro import SubsequenceMatcher
+        from repro.distances import shared_cache
+
+        generator = np.random.default_rng(5)
+        pattern = np.cumsum(generator.normal(size=24))
+        database = SequenceDatabase(SequenceKind.TIME_SERIES)
+        database.add(
+            Sequence.from_values(
+                np.concatenate([generator.uniform(30, 40, 8), pattern]), seq_id="a"
+            )
+        )
+        database.add(
+            Sequence.from_values(
+                np.concatenate([pattern + 0.05, generator.uniform(30, 40, 8)]),
+                seq_id="b",
+            )
+        )
+        query = Sequence(
+            np.asarray(database["a"].values[8:32]) + 0.01,
+            SequenceKind.TIME_SERIES,
+            "q",
+        )
+        cache = shared_cache("hammer-matchers")
+        config = MatcherConfig(min_length=12, max_shift=1)
+        matchers = [
+            SubsequenceMatcher(database, DiscreteFrechet(), config, cache=cache)
+            for _ in range(2)
+        ]
+        results = [None, None]
+        errors = []
+
+        def run(position):
+            try:
+                results[position] = matchers[position].longest_similar(query, 0.5)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert results[0] is not None and results[1] is not None
+        assert results[0].length == results[1].length
+        assert results[0].distance == pytest.approx(results[1].distance, abs=1e-12)

@@ -1,0 +1,162 @@
+"""Unit tests for the pluggable execution engines.
+
+The functional guarantees (parallel == serial results and counters) are
+covered by the equivalence suites; these tests pin down the executor layer
+itself: task ordering, CPU accounting, the process pool's three-phase
+remote protocol and its local fallback, pool sharing, and the
+configuration plumbing.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.executor import (
+    EXECUTOR_NAMES,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    TaskResult,
+    ThreadPoolExecutor,
+    WorkTask,
+    _shared_pool,
+    default_workers,
+    make_executor,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _double_payload(payload):
+    return payload * 2
+
+
+class TestSerialExecutor:
+    def test_runs_in_order(self):
+        seen = []
+        tasks = [WorkTask(local=lambda i=i: seen.append(i) or i) for i in range(8)]
+        results = SerialExecutor().run(tasks)
+        assert [result.value for result in results] == list(range(8))
+        assert seen == list(range(8))
+
+    def test_is_not_parallel(self):
+        executor = SerialExecutor()
+        assert not executor.is_parallel
+        assert executor.workers == 1
+
+    def test_cpu_seconds_recorded(self):
+        def spin():
+            deadline = time.thread_time() + 0.01
+            while time.thread_time() < deadline:
+                pass
+            return "done"
+
+        [result] = SerialExecutor().run([WorkTask(local=spin)])
+        assert isinstance(result, TaskResult)
+        assert result.value == "done"
+        assert result.cpu_seconds >= 0.01
+
+
+class TestThreadPoolExecutor:
+    def test_results_keep_task_order(self):
+        def task(i):
+            time.sleep(0.002 * (8 - i))
+            return i
+
+        tasks = [WorkTask(local=lambda i=i: task(i)) for i in range(8)]
+        results = ThreadPoolExecutor(4).run(tasks)
+        assert [result.value for result in results] == list(range(8))
+
+    def test_actually_uses_worker_threads(self):
+        names = set()
+        barrier = threading.Barrier(2, timeout=5)
+
+        def task():
+            barrier.wait()
+            names.add(threading.current_thread().name)
+            return True
+
+        ThreadPoolExecutor(2).run([WorkTask(local=task) for _ in range(2)])
+        assert len(names) == 2
+        assert all(name.startswith("repro-worker") for name in names)
+
+    def test_single_task_runs_inline(self):
+        [result] = ThreadPoolExecutor(4).run(
+            [WorkTask(local=lambda: threading.current_thread().name)]
+        )
+        assert result.value == threading.current_thread().name
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise ValueError("unit failed")
+
+        with pytest.raises(ValueError, match="unit failed"):
+            ThreadPoolExecutor(2).run([WorkTask(local=boom), WorkTask(local=boom)])
+
+    def test_pool_is_shared(self):
+        assert _shared_pool("thread", 3) is _shared_pool("thread", 3)
+        assert _shared_pool("thread", 3) is not _shared_pool("thread", 4)
+
+
+class TestProcessPoolExecutor:
+    def test_remote_tasks_round_trip(self):
+        tasks = [
+            WorkTask(
+                local=lambda i=i: _double_payload(i),
+                prepare=lambda i=i: i,
+                remote=_double_payload,
+                finish=lambda out: out + 1,
+            )
+            for i in range(5)
+        ]
+        results = ProcessPoolExecutor(2).run(tasks)
+        assert [result.value for result in results] == [2 * i + 1 for i in range(5)]
+
+    def test_tasks_without_remote_run_locally(self):
+        pid_box = []
+
+        def local():
+            pid_box.append(os.getpid())
+            return "local"
+
+        [result] = ProcessPoolExecutor(2).run([WorkTask(local=local)])
+        assert result.value == "local"
+        assert pid_box == [os.getpid()]
+
+    def test_mixed_remote_and_local_preserve_order(self):
+        tasks = []
+        for i in range(6):
+            if i % 2 == 0:
+                tasks.append(
+                    WorkTask(
+                        local=lambda i=i: _double_payload(i),
+                        prepare=lambda i=i: i,
+                        remote=_double_payload,
+                        finish=lambda out: out,
+                    )
+                )
+            else:
+                tasks.append(WorkTask(local=lambda i=i: i * 2))
+        results = ProcessPoolExecutor(2).run(tasks)
+        assert [result.value for result in results] == [2 * i for i in range(6)]
+
+
+class TestMakeExecutor:
+    def test_names(self):
+        assert make_executor("serial").name == "serial"
+        assert make_executor("thread", 2).name == "thread"
+        assert make_executor("process", 2).name == "process"
+
+    def test_default_worker_count(self):
+        executor = make_executor("thread")
+        assert executor.workers == default_workers()
+        assert default_workers() >= 1
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown executor"):
+            make_executor("gpu")
+        assert "serial" in EXECUTOR_NAMES
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            ThreadPoolExecutor(0)

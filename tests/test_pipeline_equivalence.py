@@ -355,3 +355,190 @@ class TestBatchQueryAndSharedCache:
         cache_len = len(cache)
         matcher.refresh()
         assert len(cache) >= cache_len
+
+
+# --------------------------------------------------------------------- #
+# Executor equivalence: thread/process x index class x query type
+# --------------------------------------------------------------------- #
+
+#: Every counter that must be identical between executors.  Timings are
+#: excluded (they measure the substrate, not the work), as are executor /
+#: workers (they describe the substrate).
+WORK_COUNTERS = (
+    "segments_extracted",
+    "segment_matches",
+    "candidate_chains",
+    "naive_distance_computations",
+    "index_distance_computations",
+    "index_cache_hits",
+    "verification_distance_computations",
+    "verification_cache_hits",
+    "prefilter_evaluations",
+    "prefilter_pruned",
+)
+
+
+def _stats_fingerprint(stats):
+    return {name: getattr(stats, name) for name in WORK_COUNTERS}
+
+
+def _full_match_key(match):
+    if match is None:
+        return None
+    return (*_match_key(match), match.distance)
+
+
+class TestExecutorEquivalence:
+    """Parallel executors must be *undetectable* from results and counters.
+
+    For every index class and every query type, the thread and process
+    executors must return byte-identical matches and identical merged work
+    counters to a serial matcher over the same database -- the acceptance
+    contract of the parallel execution engine.
+    """
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("index_name", ALL_INDEXES)
+    def test_all_query_types_match_serial(self, planted, index_name, executor):
+        db, query = planted
+        serial = SubsequenceMatcher(
+            db,
+            DiscreteFrechet(),
+            MatcherConfig(min_length=12, max_shift=1, index=index_name, executor="serial"),
+        )
+        parallel = SubsequenceMatcher(
+            db,
+            DiscreteFrechet(),
+            MatcherConfig(
+                min_length=12,
+                max_shift=1,
+                index=index_name,
+                executor=executor,
+                workers=4,
+            ),
+        )
+        assert parallel.pipeline.executor.name == executor
+
+        # Type I: identical match lists, in the same order.
+        serial_range = serial.range_search(query, RangeQuery(radius=0.5))
+        parallel_range = parallel.range_search(query, RangeQuery(radius=0.5))
+        assert list(map(_full_match_key, parallel_range)) == list(
+            map(_full_match_key, serial_range)
+        )
+        assert _stats_fingerprint(parallel.last_query_stats) == _stats_fingerprint(
+            serial.last_query_stats
+        )
+
+        # Type II.
+        serial_longest = serial.longest_similar(query, 0.5)
+        parallel_longest = parallel.longest_similar(query, 0.5)
+        assert _full_match_key(parallel_longest) == _full_match_key(serial_longest)
+        assert _stats_fingerprint(parallel.last_query_stats) == _stats_fingerprint(
+            serial.last_query_stats
+        )
+
+        # Type III: the whole radius sweep, pass history included.
+        spec = NearestSubsequenceQuery(max_radius=10.0)
+        serial_nearest = serial.nearest_subsequence(query, spec)
+        parallel_nearest = parallel.nearest_subsequence(query, spec)
+        assert _full_match_key(parallel_nearest) == _full_match_key(serial_nearest)
+        assert _stats_fingerprint(parallel.last_query_stats) == _stats_fingerprint(
+            serial.last_query_stats
+        )
+        assert len(parallel.last_query_stats.passes) == len(
+            serial.last_query_stats.passes
+        )
+        for serial_pass, parallel_pass in zip(
+            serial.last_query_stats.passes, parallel.last_query_stats.passes
+        ):
+            assert _stats_fingerprint(parallel_pass) == _stats_fingerprint(serial_pass)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_string_matcher_with_prefilter(self, string_database, executor):
+        """Levenshtein + linear scan exercises the prefilter recording path."""
+        config = dict(min_length=8, max_shift=1, index="linear-scan")
+        serial = SubsequenceMatcher(
+            string_database, Levenshtein(), MatcherConfig(executor="serial", **config)
+        )
+        parallel = SubsequenceMatcher(
+            string_database,
+            Levenshtein(),
+            MatcherConfig(executor=executor, workers=4, **config),
+        )
+        query = Sequence.from_string("ACDEFGHIKL", string_database["s1"].alphabet)
+        serial_result = serial.longest_similar(query, 2.0)
+        parallel_result = parallel.longest_similar(query, 2.0)
+        assert _full_match_key(parallel_result) == _full_match_key(serial_result)
+        assert _stats_fingerprint(parallel.last_query_stats) == _stats_fingerprint(
+            serial.last_query_stats
+        )
+        assert serial.last_query_stats.prefilter_evaluations > 0
+
+    def test_parallel_batch_range_query_on_bare_indexes(self, planted):
+        """The index-level batched entry point honours the executor too."""
+        from repro.core.executor import make_executor
+
+        db, _ = planted
+        generator = np.random.default_rng(11)
+        items = [
+            Sequence.from_values(generator.normal(size=8), seq_id=f"w{i}")
+            for i in range(40)
+        ]
+        queries = [
+            Sequence.from_values(generator.normal(size=8), seq_id=f"q{i}")
+            for i in range(6)
+        ]
+        from repro.distances.cache import DistanceCache
+
+        executor = make_executor("thread", 4)
+        for make_index in (
+            lambda d: LinearScanIndex(d, prefilter=True, cache=DistanceCache()),
+            lambda d: ReferenceNet(d, cache=DistanceCache()),
+            lambda d: CoverTree(d),
+            lambda d: VPTree(d),
+            lambda d: ReferenceIndex(d, num_references=4),
+        ):
+            serial_index = make_index(DiscreteFrechet())
+            parallel_index = make_index(DiscreteFrechet())
+            for position, item in enumerate(items):
+                serial_index.add(item, key=position)
+                parallel_index.add(item, key=position)
+            if isinstance(serial_index, (ReferenceIndex, VPTree)):
+                serial_index.build()
+                parallel_index.build()
+            serial_results = serial_index.batch_range_query(queries, 1.5)
+            parallel_results = parallel_index.batch_range_query(
+                queries, 1.5, executor=executor
+            )
+            for serial_matches, parallel_matches in zip(serial_results, parallel_results):
+                assert [(m.key, m.distance) for m in parallel_matches] == [
+                    (m.key, m.distance) for m in serial_matches
+                ]
+            assert parallel_index.counter.total == serial_index.counter.total
+            assert parallel_index.counter.cache_hits == serial_index.counter.cache_hits
+            assert (
+                parallel_index.counter.prefilter_evaluations
+                == serial_index.counter.prefilter_evaluations
+            )
+
+    def test_executor_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        assert MatcherConfig(min_length=12).executor == "thread"
+        monkeypatch.delenv("REPRO_EXECUTOR")
+        assert MatcherConfig(min_length=12).executor == "serial"
+
+    def test_cpu_and_wall_stage_timings_recorded(self, planted):
+        db, query = planted
+        matcher = SubsequenceMatcher(
+            db,
+            DiscreteFrechet(),
+            MatcherConfig(min_length=12, max_shift=1, executor="thread", workers=2),
+        )
+        matcher.range_search(query, 0.5)
+        stats = matcher.last_query_stats
+        assert stats.executor == "thread"
+        assert stats.workers == 2
+        for stage in ("segment", "probe", "chain", "verify"):
+            assert stage in stats.stage_timings
+            assert stage in stats.cpu_stage_timings
+            assert stats.cpu_stage_timings[stage] >= 0.0
