@@ -13,7 +13,7 @@ from _harness import scaled
 from repro.analysis.reporting import format_table
 from repro.core.config import MatcherConfig
 from repro.core.matcher import SubsequenceMatcher
-from repro.core.queries import NearestSubsequenceQuery
+from repro.core.queries import NearestSubsequenceQuery, TopKQuery, match_ranking_key
 from repro.datasets.loaders import dataset_distance, load_dataset
 from repro.datasets.proteins import generate_protein_query
 from repro.datasets.songs import generate_song_query
@@ -96,3 +96,54 @@ def test_end_to_end_query_types(benchmark, dataset, distance_name, radius, max_r
     # Step 4 through the index never exceeds the naive segment-pair count.
     for _, stats in results.values():
         assert stats.index_distance_computations <= stats.naive_distance_computations
+
+
+@pytest.mark.parametrize("dataset, distance_name, radius, max_radius", CASES)
+def test_end_to_end_topk(benchmark, dataset, distance_name, radius, max_radius):
+    """The top-k leg: the declarative k-nearest sweep on every dataset.
+
+    Kept as its own benchmark (rather than a fourth entry in the query-type
+    loop above) so the three classic legs stay median-comparable with the
+    earlier recorded baselines.
+    """
+    database = load_dataset(dataset, num_windows=scaled(200), seed=0)
+    distance = dataset_distance(dataset, distance_name)
+    config = MatcherConfig(min_length=40, max_shift=1)
+    matcher = SubsequenceMatcher(database, distance, config)
+    query, _source_id, _ = _QUERY_GENERATORS[dataset](database, length=80, seed=13)
+    spec = TopKQuery(k=5, max_radius=max_radius)
+
+    result = benchmark.pedantic(
+        lambda: matcher.execute(spec.bind(query)), rounds=1, iterations=1
+    )
+
+    stats = result.stats
+    print()
+    print(
+        format_table(
+            ["k", "matches", "index computations", "verification computations", "passes"],
+            [
+                [
+                    spec.k,
+                    len(result.matches),
+                    stats.index_distance_computations,
+                    stats.verification_distance_computations,
+                    len(stats.passes),
+                ]
+            ],
+            title=f"Top-k end-to-end -- {dataset} / {distance_name} (lambda=40, lambda0=1)",
+        )
+    )
+
+    # The planted query yields at least one pair; the heap is ranked by the
+    # deterministic key with distinct identities, all within the sweep.
+    assert 1 <= len(result.matches) <= spec.k
+    keys = [match_ranking_key(match) for match in result.matches]
+    assert keys == sorted(keys)
+    spans = {
+        (m.source_id, m.query_start, m.query_stop, m.db_start, m.db_stop)
+        for m in result.matches
+    }
+    assert len(spans) == len(result.matches)
+    assert all(match.distance <= max_radius + 1e-9 for match in result.matches)
+    assert stats.index_distance_computations <= stats.naive_distance_computations

@@ -18,10 +18,12 @@ from repro import (
     MatcherConfig,
     NearestSubsequenceQuery,
     RangeQuery,
+    SearchService,
     Sequence,
     SequenceDatabase,
     SequenceKind,
     SubsequenceMatcher,
+    TopKQuery,
 )
 
 
@@ -77,6 +79,20 @@ def main() -> None:
     print("\nType I -- all similar subsequence pairs (radius 0.5):")
     for match in matcher.range_search(query, RangeQuery(radius=0.5)):
         print(f"  {match}")
+
+    # The declarative style: build a spec, bind the query sequence, execute
+    # through the backend-agnostic service facade.  Every query type goes
+    # through the same execute() -> QueryResult envelope.
+    print("\nTop-k -- the 3 nearest subsequence pairs, declaratively:")
+    service = SearchService(matcher)
+    result = service.execute(TopKQuery(k=3, max_radius=5.0).bind(query))
+    for match in result.matches:
+        print(f"  {match}")
+    print(
+        f"  ({result.total_matches} candidates before paging; "
+        f"{len(result.stats.passes)} sweep passes; "
+        f"config fingerprint {service.fingerprint()})"
+    )
 
 
 if __name__ == "__main__":

@@ -14,12 +14,17 @@ let regressions slide against an obsolete bar.
 Benchmarks missing from either side are reported but never fail the check
 (new benchmarks have no baseline, and removed ones have no current run);
 very fast benchmarks can be excluded with ``--min-seconds`` because their
-medians are jitter-dominated.
+medians are jitter-dominated.  ``--require <regex>`` (repeatable) turns a
+*coverage* expectation into a failure: the current run must contain at
+least one benchmark whose name matches each pattern -- the CI job uses it
+to guarantee the top-k end-to-end leg keeps running (a leg that silently
+stops being collected would otherwise look like a pass forever).
 
 Usage::
 
     python scripts/check_bench_regression.py \
-        --current benchmark-results.json --threshold 0.25 --min-seconds 0.5
+        --current benchmark-results.json --threshold 0.25 --min-seconds 0.5 \
+        --require test_end_to_end_topk
 """
 
 from __future__ import annotations
@@ -81,6 +86,14 @@ def main(argv=None) -> int:
         default=0.5,
         help="ignore benchmarks whose baseline median is below this (jitter)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="REGEX",
+        help="fail unless the current run contains at least one benchmark "
+        "whose name matches this regex (repeatable)",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = args.baseline
@@ -96,6 +109,20 @@ def main(argv=None) -> int:
 
     baseline = load_medians(baseline_path)
     current = load_medians(args.current)
+
+    missing_required = [
+        pattern
+        for pattern in args.require
+        if not any(re.search(pattern, name) for name in current)
+    ]
+    if missing_required:
+        for pattern in missing_required:
+            print(
+                f"error: no benchmark in the current run matches required "
+                f"pattern {pattern!r}",
+                file=sys.stderr,
+            )
+        return 2
 
     regressions = []
     improvements = 0

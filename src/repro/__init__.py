@@ -96,15 +96,19 @@ from repro.storage import (
 )
 from repro.core import (
     MatcherConfig,
+    QueryResult,
     QueryStats,
     RangeQuery,
     LongestSubsequenceQuery,
     NearestSubsequenceQuery,
+    SearchService,
     SegmentMatch,
     SubsequenceMatch,
     SubsequenceMatcher,
     ShardedMatcher,
+    TopKQuery,
     QueryPipeline,
+    config_fingerprint,
     make_executor,
     partition_database,
     extract_query_segments,
@@ -173,14 +177,18 @@ __all__ = [
     "VPTree",
     # core framework
     "MatcherConfig",
+    "QueryResult",
     "QueryStats",
     "RangeQuery",
     "LongestSubsequenceQuery",
     "NearestSubsequenceQuery",
+    "SearchService",
     "SegmentMatch",
     "SubsequenceMatch",
     "SubsequenceMatcher",
     "ShardedMatcher",
+    "TopKQuery",
+    "config_fingerprint",
     "make_executor",
     "QueryPipeline",
     "partition_database",

@@ -5,8 +5,12 @@ Commands
 ``generate``
     Generate a synthetic dataset (proteins / songs / traj) and save it.
 ``search``
-    Run a Type II (longest similar subsequence) query of a saved database
-    against a query cut from it, printing the match.  With ``--snapshot``
+    Run a query of a saved database against a query sequence cut from it.
+    ``--type`` selects the query: ``range`` (Type I), ``longest`` (Type II,
+    the default), ``nearest`` (Type III), or ``topk`` (the ``--k`` nearest
+    pairs); ``--json`` emits the machine-readable result envelope
+    documented in the README.  Every variant is served through the
+    :class:`~repro.core.service.SearchService` facade.  With ``--snapshot``
     the positional path is a matcher snapshot (see ``snapshot``) and the
     query runs immediately, with zero index-rebuild work.
 ``snapshot``
@@ -27,7 +31,9 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import asdict
 from typing import List, Optional
 
 from repro.analysis.distributions import distance_distribution
@@ -41,6 +47,14 @@ from repro.analysis.reporting import (
 from repro.core.config import MatcherConfig, _default_executor
 from repro.core.executor import EXECUTOR_NAMES, make_executor
 from repro.core.matcher import SubsequenceMatcher
+from repro.core.queries import (
+    LongestSubsequenceQuery,
+    NearestSubsequenceQuery,
+    QueryResult,
+    RangeQuery,
+    TopKQuery,
+)
+from repro.core.service import SearchService
 from repro.core.sharded import ShardedMatcher
 from repro.datasets.loaders import dataset_distance, dataset_windows, load_dataset
 from repro.datasets.proteins import generate_protein_query
@@ -106,10 +120,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument("--dataset", choices=["proteins", "songs", "traj"], required=True)
     search.add_argument("--distance", default=None, help="distance name (defaults per dataset)")
-    search.add_argument("--radius", type=float, default=5.0)
+    search.add_argument(
+        "--type",
+        dest="query_type",
+        choices=["range", "longest", "nearest", "topk"],
+        default="longest",
+        help="query type: Type I range, Type II longest (default), Type III "
+        "nearest, or the k nearest pairs (topk)",
+    )
+    search.add_argument(
+        "--k",
+        type=int,
+        default=3,
+        help="result count for --type topk (ignored otherwise)",
+    )
+    search.add_argument(
+        "--radius",
+        type=float,
+        default=5.0,
+        help="query radius; for nearest/topk this is the sweep's max_radius",
+    )
     search.add_argument("--min-length", type=int, default=40)
     search.add_argument("--max-shift", type=int, default=2)
     search.add_argument("--seed", type=int, default=1)
+    search.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="result paging: return at most this many matches",
+    )
+    search.add_argument(
+        "--offset",
+        type=int,
+        default=0,
+        help="result paging: skip this many matches first",
+    )
+    search.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON result envelope (schema in the "
+        "README's 'repro search --json' section) instead of the text report",
+    )
     search.add_argument(
         "--stats",
         action="store_true",
@@ -223,12 +274,77 @@ def _generate_query(dataset: str, database, seed: int):
     return generate_trajectory_query(database, seed=seed)
 
 
+def _build_query_spec(args: argparse.Namespace):
+    """The declarative spec the ``search`` flags describe."""
+    paging = dict(limit=args.limit, offset=args.offset)
+    if args.query_type == "range":
+        return RangeQuery(radius=args.radius, **paging)
+    if args.query_type == "longest":
+        return LongestSubsequenceQuery(radius=args.radius, **paging)
+    if args.query_type == "nearest":
+        return NearestSubsequenceQuery(max_radius=args.radius, **paging)
+    return TopKQuery(k=args.k, max_radius=args.radius, **paging)
+
+
+def _json_envelope(
+    result: QueryResult, service: SearchService, source_id: str, offset: int
+) -> dict:
+    """The stable ``repro search --json`` envelope (see README for the schema)."""
+    stats = result.stats
+    backend = service.backend
+    return {
+        "schema_version": 1,
+        "query": result.query.describe(),
+        "query_origin": {"source_id": source_id, "offset": int(offset)},
+        "matches": [
+            {
+                "source_id": match.source_id,
+                "query_start": match.query_start,
+                "query_stop": match.query_stop,
+                "db_start": match.db_start,
+                "db_stop": match.db_stop,
+                "distance": match.distance,
+                "length": match.length,
+            }
+            for match in result.matches
+        ],
+        "total_matches": result.total_matches,
+        "error": result.error,
+        "stats": {
+            "segments_extracted": stats.segments_extracted,
+            "segment_matches": stats.segment_matches,
+            "candidate_chains": stats.candidate_chains,
+            "index_distance_computations": stats.index_distance_computations,
+            "verification_distance_computations": stats.verification_distance_computations,
+            "index_cache_hits": stats.index_cache_hits,
+            "verification_cache_hits": stats.verification_cache_hits,
+            "prefilter_evaluations": stats.prefilter_evaluations,
+            "prefilter_pruned": stats.prefilter_pruned,
+            "naive_distance_computations": stats.naive_distance_computations,
+            "pruning_ratio": stats.pruning_ratio,
+            "passes": len(stats.passes),
+            "executor": stats.executor,
+            "workers": stats.workers,
+            "shards": stats.shards,
+            "stage_seconds": dict(stats.stage_timings),
+            "cpu_stage_seconds": dict(stats.cpu_stage_timings),
+        },
+        "config": {
+            "fingerprint": service.fingerprint(),
+            "backend": type(backend).__name__,
+            "distance": backend.distance.name,
+            **asdict(backend.config),
+        },
+    }
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     if args.snapshot:
         distance = None
         if args.distance is not None:
             distance = dataset_distance(args.dataset, args.distance)
-        matcher = load_matcher(args.database, distance=distance)
+        service = SearchService(args.database, distance=distance)
+        matcher = service.backend  # load the snapshot now: the query cut needs it
         if args.executor is not None or args.workers is not None:
             matcher.set_executor(
                 args.executor if args.executor is not None else matcher.config.executor,
@@ -239,15 +355,25 @@ def _cmd_search(args: argparse.Namespace) -> int:
         database = load_database(args.database)
         distance_name = _default_distance(args.dataset, args.distance)
         distance = dataset_distance(args.dataset, distance_name)
-        matcher = _build_matcher(database, distance, _matcher_config(args))
+        service = SearchService(_build_matcher(database, distance, _matcher_config(args)))
     query, source_id, offset = _generate_query(args.dataset, database, args.seed)
-    match = matcher.longest_similar(query, args.radius)
+    result = service.execute(_build_query_spec(args).bind(query))
+    if args.json:
+        print(json.dumps(_json_envelope(result, service, source_id, offset), indent=2))
+        return 0
     print(f"query cut from {source_id!r} at offset {offset}")
-    if match is None:
-        print("no similar subsequence found at this radius")
+    if not result.matches:
+        plural = "s" if args.query_type in ("range", "topk") else ""
+        print(f"no similar subsequence{plural} found at this radius")
     else:
-        print(match)
-        stats = matcher.last_query_stats
+        for match in result.matches:
+            print(match)
+        if result.total_matches != len(result.matches):
+            print(
+                f"(showing {len(result.matches)} of {result.total_matches} "
+                "matches; adjust --limit/--offset)"
+            )
+        stats = result.stats
         print(
             f"index distance computations: {stats.index_distance_computations} "
             f"(naive: {stats.naive_distance_computations}, "
@@ -255,7 +381,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         )
     if args.stats:
         print()
-        print(format_query_stats(matcher.last_query_stats, title="query statistics"))
+        print(format_query_stats(result.stats, title="query statistics"))
     return 0
 
 

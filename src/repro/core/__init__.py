@@ -20,12 +20,17 @@ pipeline.
 
 from repro.core.config import MatcherConfig
 from repro.core.queries import (
+    QueryResult,
     QueryStats,
     RangeQuery,
     LongestSubsequenceQuery,
     NearestSubsequenceQuery,
     SegmentMatch,
     SubsequenceMatch,
+    TopKCandidates,
+    TopKQuery,
+    as_query_spec,
+    match_ranking_key,
 )
 from repro.core.segmentation import partition_database, extract_query_segments
 from repro.core.candidates import CandidateChain, chain_segment_matches
@@ -39,9 +44,12 @@ from repro.core.executor import (
 from repro.core.pipeline import ProbeResult, QueryPipeline
 from repro.core.matcher import SubsequenceMatcher
 from repro.core.sharded import ShardedMatcher
+from repro.core.service import SearchService, config_fingerprint
 from repro.core.bruteforce import brute_force_matches, brute_force_longest, brute_force_nearest
 
 __all__ = [
+    "SearchService",
+    "config_fingerprint",
     "Executor",
     "SerialExecutor",
     "ThreadPoolExecutor",
@@ -49,12 +57,17 @@ __all__ = [
     "make_executor",
     "ShardedMatcher",
     "MatcherConfig",
+    "QueryResult",
     "QueryStats",
     "RangeQuery",
     "LongestSubsequenceQuery",
     "NearestSubsequenceQuery",
     "SegmentMatch",
     "SubsequenceMatch",
+    "TopKCandidates",
+    "TopKQuery",
+    "as_query_spec",
+    "match_ranking_key",
     "partition_database",
     "extract_query_segments",
     "CandidateChain",

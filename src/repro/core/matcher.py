@@ -11,20 +11,29 @@ Typical use::
     db.add(Sequence.from_values([...], seq_id="series-1"))
     matcher = SubsequenceMatcher(db, DiscreteFrechet(), MatcherConfig(min_length=40, max_shift=2))
 
-    best = matcher.longest_similar(query, radius=1.5)          # Type II
-    nearest = matcher.nearest_subsequence(query, max_radius=10)  # Type III
-    all_pairs = matcher.range_search(query, radius=1.5)          # Type I
+    # Declarative style: build a spec, bind the query sequence, execute.
+    result = matcher.execute(RangeQuery(radius=1.5).bind(query))       # Type I
+    result = matcher.execute(LongestSubsequenceQuery(1.5).bind(query))  # Type II
+    result = matcher.execute(TopKQuery(k=5, max_radius=10).bind(query))  # top-k
+    result.matches, result.stats, result.query  # the uniform envelope
+
+    # Legacy convenience wrappers (thin shims over execute()):
+    best = matcher.longest_similar(query, radius=1.5)
+    nearest = matcher.nearest_subsequence(query, max_radius=10)
+    all_pairs = matcher.range_search(query, radius=1.5)
 
 The online steps (3-5) are executed by the staged
 :class:`~repro.core.pipeline.QueryPipeline`; the matcher owns the offline
-steps (1-2), the Type III radius-sweep orchestration, and the multi-query
-:meth:`batch_query` entry point.
+steps (1-2), the Type III / top-k radius-sweep orchestration
+(:meth:`SubsequenceMatcher._radius_sweep`), and the multi-query
+:meth:`execute_many` entry point.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Union
+from functools import singledispatchmethod
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.candidates import chain_segment_matches
 from repro.core.config import MatcherConfig
@@ -33,11 +42,15 @@ from repro.core.pipeline import QueryPipeline
 from repro.core.queries import (
     LongestSubsequenceQuery,
     NearestSubsequenceQuery,
+    QueryResult,
     QueryStats,
     RangeQuery,
     SegmentMatch,
     SubsequenceMatch,
+    TopKCandidates,
+    TopKQuery,
 )
+from repro.core.query_api import QueryInterfaceMixin, QuerySpec
 from repro.core.segmentation import partition_database
 from repro.distances.base import Distance
 from repro.distances.cache import DistanceCache
@@ -51,10 +64,6 @@ from repro.indexing.vp_tree import VPTree
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.sequence import Sequence
 from repro.sequences.windows import Window, tumbling_windows
-
-#: A query specification accepted by :meth:`SubsequenceMatcher.batch_query`.
-QuerySpec = Union[RangeQuery, LongestSubsequenceQuery, NearestSubsequenceQuery, float]
-
 
 def build_index(config: MatcherConfig, distance: Distance, cache: DistanceCache) -> MetricIndex:
     """Instantiate the (empty) metric index ``config.index`` selects.
@@ -82,7 +91,7 @@ def build_index(config: MatcherConfig, distance: Distance, cache: DistanceCache)
     raise ConfigurationError(f"unknown index {name!r}")  # pragma: no cover
 
 
-class SubsequenceMatcher:
+class SubsequenceMatcher(QueryInterfaceMixin):
     """Index a sequence database for subsequence similarity queries.
 
     Parameters
@@ -373,58 +382,67 @@ class SubsequenceMatcher:
         return probe.matches
 
     # ------------------------------------------------------------------ #
-    # Step 5: the three query types
+    # Step 5: the declarative execute() entry point
     # ------------------------------------------------------------------ #
-    def range_search(
-        self, query: Sequence, spec: Union[RangeQuery, float]
-    ) -> List[SubsequenceMatch]:
-        """Type I: pairs of similar subsequences within the given radius.
+    @singledispatchmethod
+    def execute(self, spec) -> QueryResult:
+        """Answer a bound declarative query spec; the one query entry point.
 
-        With the default (non-exhaustive) verification, one locally-maximal
-        match is reported per candidate chain; pass
-        ``RangeQuery(radius, exhaustive=True)`` -- practical on small inputs
-        only -- to enumerate every admissible pair in every candidate
-        region.
+        ``spec`` is one of the :mod:`repro.core.queries` dataclasses with a
+        query sequence attached via
+        :meth:`~repro.core.queries.BaseQuery.bind`; dispatch over the spec
+        type selects the pipeline strategy.  Every query -- including each
+        legacy convenience method, which is now a one-line wrapper around
+        this -- returns the uniform
+        :class:`~repro.core.queries.QueryResult` envelope (paged matches,
+        :class:`~repro.core.queries.QueryStats`, spec echo) and installs
+        its statistics in :attr:`last_query_stats`.
         """
-        if not isinstance(spec, RangeQuery):
-            spec = RangeQuery(radius=float(spec))
-        results, stats = self.pipeline.run_range(query, spec)
+        raise QueryError(f"unsupported query spec: {spec!r}")
+
+    @execute.register
+    def _execute_range(self, spec: RangeQuery) -> QueryResult:
+        results, stats = self.pipeline.run_range(spec.bound_query(), spec)
         self.last_query_stats = stats
-        return results
+        return QueryResult.build(spec, results, stats)
 
-    def longest_similar(
-        self, query: Sequence, spec: Union[LongestSubsequenceQuery, float]
-    ) -> Optional[SubsequenceMatch]:
-        """Type II: the longest pair of similar subsequences within the radius.
-
-        Following Section 7, candidate chains are examined longest first: a
-        chain of ``k`` concatenated windows can support a match of length up
-        to ``(k + 2) * lambda / 2``, so once a chain verifies, shorter chains
-        that cannot possibly beat the verified length are skipped.
-        """
-        if not isinstance(spec, LongestSubsequenceQuery):
-            spec = LongestSubsequenceQuery(radius=float(spec))
-        best, stats = self.pipeline.run_longest(query, spec)
+    @execute.register
+    def _execute_longest(self, spec: LongestSubsequenceQuery) -> QueryResult:
+        best, stats = self.pipeline.run_longest(spec.bound_query(), spec)
         self.last_query_stats = stats
-        return best
+        return QueryResult.build(spec, [best] if best is not None else [], stats)
 
-    def nearest_subsequence(
-        self, query: Sequence, spec: Union[NearestSubsequenceQuery, float]
-    ) -> Optional[SubsequenceMatch]:
-        """Type III: the pair of subsequences with the smallest distance.
+    @execute.register
+    def _execute_nearest(self, spec: NearestSubsequenceQuery) -> QueryResult:
+        matches, stats = self._radius_sweep(spec, k=1)
+        return QueryResult.build(spec, matches, stats)
 
-        Implemented as the paper describes: binary-search the smallest
-        radius at which step 4 produces at least one segment match, attempt
-        verification there, and enlarge the radius by ``radius_increment``
-        until a pair verifies.  :attr:`last_query_stats` aggregates the
-        whole sweep (work counters summed, shape counters from the final
-        pass) and keeps the per-pass history in
-        :attr:`~repro.core.queries.QueryStats.passes`.
+    @execute.register
+    def _execute_topk(self, spec: TopKQuery) -> QueryResult:
+        matches, stats = self._radius_sweep(spec, k=spec.k)
+        return QueryResult.build(spec, matches, stats)
+
+    def _radius_sweep(
+        self, spec: Union[NearestSubsequenceQuery, TopKQuery], k: int
+    ) -> Tuple[List[SubsequenceMatch], QueryStats]:
+        """The Type III / top-k radius sweep over a k-bounded candidate heap.
+
+        As the paper describes for Type III: binary-search the smallest
+        radius at which step 4 produces at least one segment match, then
+        verify at that radius and enlarge it by ``radius_increment`` until
+        enough pairs verify.  Every verified (locally-maximal) match of
+        every pass feeds a :class:`~repro.core.queries.TopKCandidates` heap
+        bounded to ``k``; the sweep stops as soon as the heap is full, so
+        ``k=1`` performs *exactly* the passes the classic nearest query
+        performs -- same radii, same distance work, same statistics.
+        :attr:`last_query_stats` aggregates the whole sweep (work counters
+        summed, shape counters from the final pass) and keeps the per-pass
+        history in :attr:`~repro.core.queries.QueryStats.passes`.
         """
-        if not isinstance(spec, NearestSubsequenceQuery):
-            spec = NearestSubsequenceQuery(max_radius=float(spec))
+        query = spec.bound_query()
         if not self._windows:
-            return None
+            self.last_query_stats = QueryStats()
+            return [], self.last_query_stats
 
         pipeline = self.pipeline
         passes: List[QueryStats] = []
@@ -455,60 +473,24 @@ class SubsequenceMatcher:
         if increment is None:
             increment = max(spec.tolerance, 0.05 * spec.max_radius)
 
+        candidates = TopKCandidates(k)
         radius = high
         while radius <= spec.max_radius + 1e-12:
-            best, stats = pipeline.run_nearest_pass(query, radius)
+            matches, stats = pipeline.run_scored_pass(query, radius)
             passes.append(stats)
-            if best is not None:
-                self.last_query_stats = QueryStats.merged(passes)
-                return best
+            for match in matches:
+                candidates.add(match)
+            if candidates.full:
+                break
             radius += increment
         self.last_query_stats = QueryStats.merged(passes)
-        return None
+        return candidates.ranked(), self.last_query_stats
 
-    # ------------------------------------------------------------------ #
-    # Multi-query entry point
-    # ------------------------------------------------------------------ #
-    def batch_query(
-        self, queries: List[Sequence], spec: QuerySpec
-    ) -> List[Union[List[SubsequenceMatch], Optional[SubsequenceMatch]]]:
-        """Answer many queries of the same type through one matcher.
-
-        ``spec`` selects the query type exactly as in the single-query
-        methods (a bare float is a Type I radius).  All queries share the
-        matcher's :attr:`distance_cache`, so segment-window pairs measured
-        for one query are free for the next -- the multi-query analogue of
-        what the cache already does for Type III's radius sweep.  Per-query
-        statistics are collected in :attr:`last_batch_stats`
-        (:attr:`last_query_stats` keeps the final query's stats).
-
-        Returns one result per query, of the type the corresponding
-        single-query method returns.  A query that raises
-        :class:`~repro.exceptions.QueryError` (a Type III query with no
-        segment match at ``max_radius``) contributes ``None`` instead of
-        aborting the batch; its accounting still lands in
-        :attr:`last_batch_stats`.
-        """
-        if isinstance(spec, (int, float)):
-            spec = RangeQuery(radius=float(spec))
-        if isinstance(spec, RangeQuery):
-            run = self.range_search
-        elif isinstance(spec, LongestSubsequenceQuery):
-            run = self.longest_similar
-        elif isinstance(spec, NearestSubsequenceQuery):
-            run = self.nearest_subsequence
-        else:
-            raise QueryError(f"unsupported query spec: {spec!r}")
-        results = []
-        batch_stats: List[QueryStats] = []
-        for query in queries:
-            try:
-                results.append(run(query, spec))
-            except QueryError:
-                results.append(None)
-            batch_stats.append(self.last_query_stats)
-        self.last_batch_stats = batch_stats
-        return results
+    # ``execute_many`` and the legacy per-sequence wrappers
+    # (``range_search`` / ``longest_similar`` / ``nearest_subsequence`` /
+    # ``topk_subsequences`` / ``batch_query``) come from
+    # :class:`~repro.core.query_api.QueryInterfaceMixin`, shared with the
+    # sharded matcher.
 
     # ------------------------------------------------------------------ #
     # Figure-12 style reporting

@@ -470,15 +470,19 @@ class QueryPipeline:
         self._finish_verify(stats, counter, started, cpu_started)
         return best, stats
 
-    def run_nearest_pass(
+    def run_scored_pass(
         self, query: Sequence, radius: float
-    ) -> Tuple[Optional[SubsequenceMatch], QueryStats]:
-        """One fixed-radius pass of Type III: best verified match by distance.
+    ) -> Tuple[List[SubsequenceMatch], QueryStats]:
+        """One fixed-radius verification pass: every chain's verified match.
 
-        Every chain is verified (no early exit), so the chains fan out as
-        parallel verification units and the best match is selected in chain
-        order afterwards -- the same answer, tie-breaks included, as the
-        serial loop.
+        The shared engine behind Type III and top-k: every chain is
+        verified (no early exit), so the chains fan out as parallel
+        verification units, and the locally-maximal match of each verifying
+        chain is returned in chain order.  The matchers' radius sweep ranks
+        the matches through a k-bounded candidate heap ordered by the
+        deterministic :func:`~repro.core.queries.match_ranking_key`
+        (``k=1`` is the classic nearest query), so the distance work of a
+        pass is identical whichever ``k`` consumes it.
         """
         probe = self.probe(query, radius)
         stats = probe.stats
@@ -492,11 +496,6 @@ class QueryPipeline:
             return self.verify_with_fallback(chain, query, radius, chain_counter, cache=cache)
 
         per_chain, worker_cpu = self._verify_all_chains(chains, counter, runner)
-        best: Optional[SubsequenceMatch] = None
-        for verified in per_chain:
-            if verified is None:
-                continue
-            if best is None or verified.distance < best.distance:
-                best = verified
+        matches = [verified for verified in per_chain if verified is not None]
         self._finish_verify(stats, counter, started, cpu_started, worker_cpu)
-        return best, stats
+        return matches, stats

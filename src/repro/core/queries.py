@@ -1,4 +1,4 @@
-"""Query descriptions, result records, and per-query statistics.
+"""Declarative query specs, result envelopes, and per-query statistics.
 
 The paper distinguishes three query types (Section 3.2):
 
@@ -6,21 +6,73 @@ The paper distinguishes three query types (Section 3.2):
 * **Type II** -- longest similar subsequence: maximise the match length;
 * **Type III** -- nearest neighbour: minimise the distance.
 
-The dataclasses here describe those queries and their results; the logic
-that answers them lives in :mod:`repro.core.matcher`.
+The dataclasses here are the *single source of truth* for what a query
+means: a spec is self-validating, optionally carries the query sequence it
+should run against (:meth:`BaseQuery.bind`), and every backend -- the plain
+:class:`~repro.core.matcher.SubsequenceMatcher`, the
+:class:`~repro.core.sharded.ShardedMatcher`, and the
+:class:`~repro.core.service.SearchService` facade -- answers a bound spec
+through the same ``execute(spec) -> QueryResult`` entry point.
+:class:`TopKQuery` generalises Type III to k > 1 via a k-bounded candidate
+heap (:class:`TopKCandidates`) maintained across the radius sweep.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence as TypingSequence
+import bisect
+from dataclasses import dataclass, field, fields, replace
+from typing import ClassVar, Dict, Iterator, List, Optional, Sequence as TypingSequence, Tuple
 
 from repro.exceptions import QueryError
+from repro.sequences.sequence import Sequence
 from repro.sequences.windows import Window
 
 
+class BaseQuery:
+    """Shared behaviour of the declarative query specs.
+
+    Every concrete spec is a frozen dataclass whose trailing fields are the
+    uniform envelope controls -- result paging (``limit``/``offset``) and an
+    optional bound ``query`` sequence.  A spec without a bound sequence is a
+    reusable template (the legacy per-sequence methods and
+    ``execute_many([spec.bind(q) for q in ...])`` both rely on that);
+    :meth:`bind` attaches the sequence without mutating the template.
+    """
+
+    #: Stable identifier used by ``describe()`` and the CLI's ``--type`` flag.
+    kind: ClassVar[str] = "base"
+
+    def bind(self, query: Sequence) -> "BaseQuery":
+        """A copy of this spec bound to the given query sequence."""
+        return replace(self, query=query)
+
+    def bound_query(self) -> Sequence:
+        """The bound query sequence; raises when the spec is a bare template."""
+        if self.query is None:
+            raise QueryError(
+                f"{type(self).__name__} has no bound query sequence; call "
+                "spec.bind(query) before execute()"
+            )
+        return self.query
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe echo of the spec: its type plus every scalar parameter."""
+        payload: Dict[str, object] = {"type": self.kind}
+        for spec_field in fields(self):
+            if spec_field.name == "query":
+                continue
+            payload[spec_field.name] = getattr(self, spec_field.name)
+        return payload
+
+    def _validate_envelope(self) -> None:
+        if self.limit is not None and self.limit < 1:
+            raise QueryError(f"limit must be >= 1 or None, got {self.limit}")
+        if self.offset < 0:
+            raise QueryError(f"offset must be non-negative, got {self.offset}")
+
+
 @dataclass(frozen=True)
-class RangeQuery:
+class RangeQuery(BaseQuery):
     """Type I: all pairs of similar subsequences within ``radius``.
 
     With ``exhaustive=False`` (the default) the matcher reports one
@@ -31,32 +83,49 @@ class RangeQuery:
     affordable on small inputs.
     """
 
+    kind: ClassVar[str] = "range"
+
     radius: float
     #: Safety valve: stop after this many verified pairs (None = unlimited).
+    #: Unlike ``limit`` this caps the *work* -- verification stops early.
     max_results: Optional[int] = None
     #: Enumerate every admissible pair inside each candidate region.
     exhaustive: bool = False
+    #: Result paging: page size (None = everything) and starting position.
+    limit: Optional[int] = None
+    offset: int = 0
+    #: The bound query sequence (see :meth:`BaseQuery.bind`).
+    query: Optional[Sequence] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.radius < 0:
             raise QueryError(f"radius must be non-negative, got {self.radius}")
         if self.max_results is not None and self.max_results < 1:
             raise QueryError(f"max_results must be >= 1, got {self.max_results}")
+        self._validate_envelope()
 
 
 @dataclass(frozen=True)
-class LongestSubsequenceQuery:
+class LongestSubsequenceQuery(BaseQuery):
     """Type II: the longest pair of similar subsequences within ``radius``."""
 
+    kind: ClassVar[str] = "longest"
+
     radius: float
+    #: Result paging (a Type II result has at most one match; kept for the
+    #: uniform envelope).
+    limit: Optional[int] = None
+    offset: int = 0
+    query: Optional[Sequence] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.radius < 0:
             raise QueryError(f"radius must be non-negative, got {self.radius}")
+        self._validate_envelope()
 
 
 @dataclass(frozen=True)
-class NearestSubsequenceQuery:
+class NearestSubsequenceQuery(BaseQuery):
     """Type III: the closest pair of subsequences of length at least lambda.
 
     Attributes
@@ -71,9 +140,14 @@ class NearestSubsequenceQuery:
         subsequence pair.
     """
 
+    kind: ClassVar[str] = "nearest"
+
     max_radius: float
     tolerance: float = 1e-3
     radius_increment: Optional[float] = None
+    limit: Optional[int] = None
+    offset: int = 0
+    query: Optional[Sequence] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_radius <= 0:
@@ -84,6 +158,58 @@ class NearestSubsequenceQuery:
             raise QueryError(
                 f"radius_increment must be positive, got {self.radius_increment}"
             )
+        self._validate_envelope()
+
+
+@dataclass(frozen=True)
+class TopKQuery(BaseQuery):
+    """Type III generalised to the ``k`` nearest subsequence pairs.
+
+    The matcher answers it with the same radius sweep as
+    :class:`NearestSubsequenceQuery` -- binary-search the minimal radius
+    producing segment matches, then enlarge by ``radius_increment`` -- but
+    instead of stopping at the first verified pair it maintains a k-bounded
+    candidate heap (:class:`TopKCandidates`) across the passes and stops as
+    soon as the heap holds ``k`` distinct matches.  Candidates are ranked by
+    the deterministic :func:`match_ranking_key`, which is what makes a
+    sharded sweep merge to exactly the unsharded answer.
+
+    ``TopKQuery(k=1, ...)`` is byte-identical -- results *and* work
+    counters -- to :class:`NearestSubsequenceQuery` with the same
+    parameters.
+    """
+
+    kind: ClassVar[str] = "topk"
+
+    k: int
+    max_radius: float
+    tolerance: float = 1e-3
+    radius_increment: Optional[float] = None
+    limit: Optional[int] = None
+    offset: int = 0
+    query: Optional[Sequence] = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1, got {self.k}")
+        if self.max_radius <= 0:
+            raise QueryError(f"max_radius must be positive, got {self.max_radius}")
+        if self.tolerance <= 0:
+            raise QueryError(f"tolerance must be positive, got {self.tolerance}")
+        if self.radius_increment is not None and self.radius_increment <= 0:
+            raise QueryError(
+                f"radius_increment must be positive, got {self.radius_increment}"
+            )
+        self._validate_envelope()
+
+
+def as_query_spec(spec) -> BaseQuery:
+    """Normalise a user-supplied spec: a bare number is a Type I radius."""
+    if isinstance(spec, BaseQuery):
+        return spec
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        return RangeQuery(radius=float(spec))
+    raise QueryError(f"unsupported query spec: {spec!r}")
 
 
 @dataclass(frozen=True)
@@ -142,6 +268,84 @@ class SubsequenceMatch:
             f"query=[{self.query_start}:{self.query_stop}], "
             f"db=[{self.db_start}:{self.db_stop}], distance={self.distance:.4f})"
         )
+
+
+def match_identity(match: SubsequenceMatch) -> tuple:
+    """The identity of a match: which subsequence pair it names."""
+    return (
+        match.source_id,
+        match.query_start,
+        match.query_stop,
+        match.db_start,
+        match.db_stop,
+    )
+
+
+def match_ranking_key(match: SubsequenceMatch) -> tuple:
+    """Deterministic total order for nearest / top-k ranking.
+
+    Smaller distance wins; exact distance ties go to the longer match, then
+    to ``(seq_id, offsets)``.  The key extends to the full identity of the
+    match, so it is a *total* order: two distinct matches never compare
+    equal, which is what lets a sharded sweep merge per-shard candidates
+    into exactly the match list an unsharded sweep produces.
+    """
+    return (
+        match.distance,
+        -match.length,
+        match.source_id,
+        match.query_start,
+        match.db_start,
+        match.query_stop,
+        match.db_stop,
+    )
+
+
+class TopKCandidates:
+    """A k-bounded candidate pool ordered by :func:`match_ranking_key`.
+
+    The top-k radius sweep feeds every verified match of every pass into
+    this structure; it keeps the ``k`` best-ranked distinct matches seen so
+    far (a bounded min-heap, maintained as a sorted list because ``k`` is
+    small) and deduplicates by match identity -- the same subsequence pair
+    re-verified at a larger radius is not a new candidate.  The final
+    contents depend only on the *set* of matches fed in, never on their
+    arrival order, which is the property the sharded/unsharded equivalence
+    rests on.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._entries: List[Tuple[tuple, SubsequenceMatch]] = []
+        self._seen: set = set()
+
+    def add(self, match: SubsequenceMatch) -> bool:
+        """Offer a candidate; returns whether it entered the pool."""
+        identity = match_identity(match)
+        if identity in self._seen:
+            return False
+        self._seen.add(identity)
+        key = match_ranking_key(match)
+        if len(self._entries) == self.k and key >= self._entries[-1][0]:
+            return False
+        bisect.insort(self._entries, (key, match))
+        if len(self._entries) > self.k:
+            self._entries.pop()
+        return True
+
+    @property
+    def full(self) -> bool:
+        """Whether the pool holds ``k`` candidates (the sweep's stop signal)."""
+        return len(self._entries) == self.k
+
+    def ranked(self) -> List[SubsequenceMatch]:
+        """The candidates, best first."""
+        return [match for _key, match in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass
@@ -335,3 +539,64 @@ class QueryStats:
                 )
         total.passes = list(shard_stats)
         return total
+
+
+@dataclass
+class QueryResult:
+    """The uniform answer envelope of ``execute()`` -- every backend, every
+    query type.
+
+    Attributes
+    ----------
+    query:
+        Echo of the spec that was executed (with its bound sequence).
+    matches:
+        The verified matches, after the spec's ``limit``/``offset`` paging.
+        Type II/III put their single best match (or nothing) here; Type I
+        and top-k put their full (paged) result list, best-first for top-k.
+    total_matches:
+        Match count *before* paging, so a pager knows when to stop.
+    stats:
+        The :class:`QueryStats` work accounting for the whole query.
+    error:
+        ``None`` on success; on a query that failed with a
+        :class:`~repro.exceptions.QueryError` inside ``execute_many()``
+        (e.g. a Type III query with no segment match at ``max_radius``),
+        the error message -- the envelope then carries no matches.
+    """
+
+    query: BaseQuery
+    matches: List[SubsequenceMatch]
+    total_matches: int
+    stats: QueryStats
+    error: Optional[str] = None
+
+    @classmethod
+    def build(
+        cls,
+        spec: BaseQuery,
+        matches: TypingSequence[SubsequenceMatch],
+        stats: QueryStats,
+        error: Optional[str] = None,
+    ) -> "QueryResult":
+        """Assemble the envelope, applying the spec's result paging."""
+        matches = list(matches)
+        total = len(matches)
+        paged = matches[spec.offset :] if spec.offset else matches
+        if spec.limit is not None:
+            paged = paged[: spec.limit]
+        return cls(query=spec, matches=paged, total_matches=total, stats=stats, error=error)
+
+    @property
+    def best(self) -> Optional[SubsequenceMatch]:
+        """The first (best) match, or ``None`` -- the single-result view."""
+        return self.matches[0] if self.matches else None
+
+    def __iter__(self) -> Iterator[SubsequenceMatch]:
+        return iter(self.matches)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __bool__(self) -> bool:
+        return bool(self.matches)

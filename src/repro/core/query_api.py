@@ -1,0 +1,162 @@
+"""The shared declarative query surface of every matcher backend.
+
+:class:`QueryInterfaceMixin` holds everything the plain
+:class:`~repro.core.matcher.SubsequenceMatcher` and the
+:class:`~repro.core.sharded.ShardedMatcher` expose identically on top of
+their per-class ``execute(spec)`` dispatch: the heterogeneous
+:meth:`~QueryInterfaceMixin.execute_many` batch entry point and the legacy
+per-sequence convenience wrappers.  Keeping them here -- written once --
+is what guarantees the two backends' public query APIs cannot drift.
+
+The host class only needs to provide ``execute(spec) -> QueryResult`` and
+the ``last_query_stats`` / ``last_batch_stats`` attributes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.core.queries import (
+    BaseQuery,
+    LongestSubsequenceQuery,
+    NearestSubsequenceQuery,
+    QueryResult,
+    QueryStats,
+    RangeQuery,
+    SubsequenceMatch,
+    TopKQuery,
+    as_query_spec,
+)
+from repro.exceptions import QueryError
+from repro.sequences.sequence import Sequence
+
+#: A query specification accepted by :meth:`QueryInterfaceMixin.batch_query`.
+QuerySpec = Union[
+    RangeQuery, LongestSubsequenceQuery, NearestSubsequenceQuery, TopKQuery, float
+]
+
+
+class QueryInterfaceMixin:
+    """``execute_many`` and the legacy wrappers, shared by every backend."""
+
+    def execute_many(self, specs: List) -> List[QueryResult]:
+        """Answer many bound specs -- of any mix of query types -- in order.
+
+        The heterogeneous successor of the legacy :meth:`batch_query`: each
+        spec carries its own query sequence and parameters, so one batch
+        can mix range, longest, nearest, and top-k queries.  A query that
+        raises :class:`~repro.exceptions.QueryError` (a Type III/top-k
+        query with no segment match at ``max_radius``, or an unbound spec)
+        contributes an envelope with
+        :attr:`~repro.core.queries.QueryResult.error` set instead of
+        aborting the batch; an entry that is not a query spec at all is a
+        programming error and propagates.  The error envelope carries the
+        failed query's own statistics (the sweep that found no segment
+        matches) or empty statistics when the query failed before doing any
+        work -- never another query's accounting.  Per-query statistics
+        land in :attr:`last_batch_stats` (:attr:`last_query_stats` keeps
+        the final query's stats).
+        """
+        results: List[QueryResult] = []
+        batch_stats: List[QueryStats] = []
+        for spec in specs:
+            previous_stats = self.last_query_stats
+            try:
+                result = self.execute(spec)
+            except QueryError as error:
+                if not isinstance(spec, BaseQuery):
+                    raise
+                stats = self.last_query_stats
+                if stats is previous_stats:
+                    # The query failed before installing its own stats
+                    # (e.g. an unbound spec): report zero work, not the
+                    # previous query's accounting.
+                    stats = QueryStats()
+                result = QueryResult.build(spec, [], stats, error=str(error))
+            results.append(result)
+            batch_stats.append(result.stats)
+        self.last_batch_stats = batch_stats
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Legacy convenience methods: thin wrappers over execute()
+    # ------------------------------------------------------------------ #
+    def range_search(
+        self, query: Sequence, spec: Union[RangeQuery, float]
+    ) -> List[SubsequenceMatch]:
+        """Type I: pairs of similar subsequences within the given radius.
+
+        Thin wrapper over ``execute``; prefer building a
+        :class:`~repro.core.queries.RangeQuery` and executing it.  With the
+        default (non-exhaustive) verification, one locally-maximal match is
+        reported per candidate chain; pass ``RangeQuery(radius,
+        exhaustive=True)`` -- practical on small inputs only -- to
+        enumerate every admissible pair in every candidate region.
+        """
+        if not isinstance(spec, RangeQuery):
+            spec = RangeQuery(radius=float(spec))
+        return list(self.execute(spec.bind(query)).matches)
+
+    def longest_similar(
+        self, query: Sequence, spec: Union[LongestSubsequenceQuery, float]
+    ) -> Optional[SubsequenceMatch]:
+        """Type II: the longest pair of similar subsequences within the radius.
+
+        Thin wrapper over ``execute``.  Following Section 7, candidate
+        chains are examined longest first: a chain of ``k`` concatenated
+        windows can support a match of length up to ``(k + 2) * lambda /
+        2``, so once a chain verifies, shorter chains that cannot possibly
+        beat the verified length are skipped.
+        """
+        if not isinstance(spec, LongestSubsequenceQuery):
+            spec = LongestSubsequenceQuery(radius=float(spec))
+        return self.execute(spec.bind(query)).best
+
+    def nearest_subsequence(
+        self, query: Sequence, spec: Union[NearestSubsequenceQuery, float]
+    ) -> Optional[SubsequenceMatch]:
+        """Type III: the pair of subsequences with the smallest distance.
+
+        Thin wrapper over ``execute``; equivalent to a
+        :class:`~repro.core.queries.TopKQuery` with ``k=1`` (both run the
+        backend's ``_radius_sweep``).
+        """
+        if not isinstance(spec, NearestSubsequenceQuery):
+            spec = NearestSubsequenceQuery(max_radius=float(spec))
+        return self.execute(spec.bind(query)).best
+
+    def topk_subsequences(
+        self, query: Sequence, spec: Union[TopKQuery, int], max_radius: Optional[float] = None
+    ) -> List[SubsequenceMatch]:
+        """The ``k`` nearest subsequence pairs, best first.
+
+        Thin wrapper over ``execute``; ``topk_subsequences(q, k,
+        max_radius)`` builds the :class:`~repro.core.queries.TopKQuery`
+        for you.
+        """
+        if not isinstance(spec, TopKQuery):
+            if max_radius is None:
+                raise QueryError("topk_subsequences needs max_radius when spec is a bare k")
+            spec = TopKQuery(k=int(spec), max_radius=float(max_radius))
+        return list(self.execute(spec.bind(query)).matches)
+
+    def batch_query(
+        self, queries: List[Sequence], spec: QuerySpec
+    ) -> List[Union[List[SubsequenceMatch], Optional[SubsequenceMatch]]]:
+        """Answer many queries of the same type through one backend.
+
+        Legacy wrapper over :meth:`execute_many`: ``spec`` selects the
+        query type exactly as in the single-query methods (a bare float is
+        a Type I radius) and is bound to each query sequence in turn.
+        Returns one result per query, of the type the corresponding
+        single-query method returns; a query that fails with
+        :class:`~repro.exceptions.QueryError` contributes ``None``.
+        """
+        spec = as_query_spec(spec)
+        outcomes = self.execute_many([spec.bind(query) for query in queries])
+        if isinstance(spec, (RangeQuery, TopKQuery)):
+            return [
+                list(outcome.matches) if outcome.error is None else None
+                for outcome in outcomes
+            ]
+        return [outcome.best for outcome in outcomes]

@@ -26,13 +26,15 @@ Per query type:
   single matcher's, whose own order follows its global chain order.
 * **Type II** takes the best shard result by ``(length desc, distance
   asc)``, shard order breaking exact ties.
-* **Type III** replicates the single matcher's radius sweep *globally*:
-  the binary search asks every shard for segment matches per probe, and
-  each verification pass runs on every shard at the same radius -- so the
-  sweep visits the same radii as a single matcher and returns a match
-  with the same distance (a per-shard sweep would not: a shard whose
-  segment matches appear only at larger radii could return a closer match
-  the global sweep never reaches).
+* **Type III and top-k** replicate the single matcher's radius sweep
+  *globally*: the binary search asks every shard for segment matches per
+  probe, and each verification pass runs on every shard at the same
+  radius, feeding one global k-bounded candidate heap ordered by the
+  deterministic :func:`~repro.core.queries.match_ranking_key` -- so the
+  sweep visits the same radii as a single matcher and the ranked result,
+  ties included, is *identical* to the unsharded one (a per-shard sweep
+  would not be: a shard whose segment matches appear only at larger radii
+  could return a closer match the global sweep never reaches).
 
 Statistics merge with
 :meth:`~repro.core.queries.QueryStats.across_shards`: work counters and
@@ -43,18 +45,23 @@ denominator sums to exactly the single matcher's ``segments x windows``.
 from __future__ import annotations
 
 from dataclasses import replace
+from functools import singledispatchmethod
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.config import MatcherConfig
 from repro.core.executor import Executor, WorkTask, make_executor
-from repro.core.matcher import QuerySpec, SubsequenceMatcher
+from repro.core.matcher import SubsequenceMatcher
 from repro.core.queries import (
     LongestSubsequenceQuery,
     NearestSubsequenceQuery,
+    QueryResult,
     QueryStats,
     RangeQuery,
     SubsequenceMatch,
+    TopKCandidates,
+    TopKQuery,
 )
+from repro.core.query_api import QueryInterfaceMixin
 from repro.distances.base import Distance
 from repro.exceptions import ConfigurationError, QueryError
 from repro.sequences.database import SequenceDatabase
@@ -86,7 +93,7 @@ def _better_longest(
     )
 
 
-class ShardedMatcher:
+class ShardedMatcher(QueryInterfaceMixin):
     """Partition a sequence database across N independent matcher shards.
 
     Parameters
@@ -234,34 +241,45 @@ class ShardedMatcher:
         return removed
 
     # ------------------------------------------------------------------ #
-    # The three query types
+    # The declarative execute() entry point
     # ------------------------------------------------------------------ #
-    def range_search(
-        self, query: Sequence, spec: Union[RangeQuery, float]
-    ) -> List[SubsequenceMatch]:
+    @singledispatchmethod
+    def execute(self, spec) -> QueryResult:
+        """Answer a bound declarative query spec across every shard.
+
+        The sharded twin of
+        :meth:`~repro.core.matcher.SubsequenceMatcher.execute`: the same
+        spec objects in, the same
+        :class:`~repro.core.queries.QueryResult` envelope out.  Result
+        paging (``limit``/``offset``) is applied *after* the shard merge,
+        never inside a shard, so a paged sharded query pages over exactly
+        the globally merged match list.
+        """
+        raise QueryError(f"unsupported query spec: {spec!r}")
+
+    @execute.register
+    def _execute_range(self, spec: RangeQuery) -> QueryResult:
         """Type I over every shard; the union of the shard result sets.
 
-        The returned list is sorted canonically (source id, then span) --
-        the single matcher emits the same *set* in its chain-processing
-        order instead.  ``max_results`` is enforced after the merge, so a
-        capped sharded query may verify more than a capped single matcher
-        (each shard caps independently) but never returns more matches.
+        The merged list is sorted canonically (source id, then span) -- the
+        single matcher emits the same *set* in its chain-processing order
+        instead.  ``max_results`` is enforced after the merge, so a capped
+        sharded query may verify more than a capped single matcher (each
+        shard caps independently) but never returns more matches.
         """
-        if not isinstance(spec, RangeQuery):
-            spec = RangeQuery(radius=float(spec))
-        per_shard = self._fan_out(lambda shard: shard.range_search(query, spec))
+        query = spec.bound_query()
+        inner = replace(spec, limit=None, offset=0)
+        per_shard = self._fan_out(lambda shard: shard.execute(inner.bind(query)).matches)
         merged: List[SubsequenceMatch] = []
         for matches in per_shard:
             merged.extend(matches)
         merged.sort(key=_match_sort_key)
         if spec.max_results is not None:
             merged = merged[: spec.max_results]
-        self._merge_stats()
-        return merged
+        return QueryResult.build(spec, merged, self._merge_stats())
 
-    def longest_similar(
-        self, query: Sequence, spec: Union[LongestSubsequenceQuery, float]
-    ) -> Optional[SubsequenceMatch]:
+    @execute.register
+    def _execute_longest(self, spec: LongestSubsequenceQuery) -> QueryResult:
         """Type II over every shard; the longest match across shards.
 
         Exact ``(length, distance)`` ties between shards resolve in shard
@@ -269,32 +287,48 @@ class ShardedMatcher:
         so a tie may name a different -- equally long, equally distant --
         subsequence pair).
         """
-        if not isinstance(spec, LongestSubsequenceQuery):
-            spec = LongestSubsequenceQuery(radius=float(spec))
-        per_shard = self._fan_out(lambda shard: shard.longest_similar(query, spec))
+        query = spec.bound_query()
+        inner = replace(spec, limit=None, offset=0)
+        per_shard = self._fan_out(lambda shard: shard.execute(inner.bind(query)).best)
         best: Optional[SubsequenceMatch] = None
         for candidate in per_shard:
             if _better_longest(candidate, best):
                 best = candidate
-        self._merge_stats()
-        return best
+        return QueryResult.build(
+            spec, [best] if best is not None else [], self._merge_stats()
+        )
 
-    def nearest_subsequence(
-        self, query: Sequence, spec: Union[NearestSubsequenceQuery, float]
-    ) -> Optional[SubsequenceMatch]:
-        """Type III with the single matcher's *global* radius sweep.
+    @execute.register
+    def _execute_nearest(self, spec: NearestSubsequenceQuery) -> QueryResult:
+        matches, stats = self._radius_sweep(spec, k=1)
+        return QueryResult.build(spec, matches, stats)
+
+    @execute.register
+    def _execute_topk(self, spec: TopKQuery) -> QueryResult:
+        matches, stats = self._radius_sweep(spec, k=spec.k)
+        return QueryResult.build(spec, matches, stats)
+
+    def _radius_sweep(
+        self, spec: Union[NearestSubsequenceQuery, TopKQuery], k: int
+    ) -> Tuple[List[SubsequenceMatch], QueryStats]:
+        """Type III / top-k with the single matcher's *global* radius sweep.
 
         The binary search over the minimal radius producing segment matches
         and the subsequent increment sweep both treat the shard set as one
         database: a probe succeeds when *any* shard has a segment match,
         and each verification pass runs on *every* shard at the same
-        radius, taking the best verified match by distance.  This visits
-        exactly the radii the single matcher would visit.
+        radius.  Every shard's verified matches feed one *global* k-bounded
+        candidate heap ordered by the deterministic
+        :func:`~repro.core.queries.match_ranking_key`; candidate chains
+        never span shards, so each pass contributes exactly the match set
+        an unsharded pass would, the sweep stops at the same radius, and
+        the ranked result -- ties included -- is identical to the
+        unsharded matcher's.
         """
-        if not isinstance(spec, NearestSubsequenceQuery):
-            spec = NearestSubsequenceQuery(max_radius=float(spec))
+        query = spec.bound_query()
         if not any(shard.windows for shard in self.shards):
-            return None
+            self.last_query_stats = QueryStats()
+            return [], self.last_query_stats
 
         passes: List[QueryStats] = []
 
@@ -321,53 +355,25 @@ class ShardedMatcher:
         if increment is None:
             increment = max(spec.tolerance, 0.05 * spec.max_radius)
 
+        candidates = TopKCandidates(k)
         radius = high
         while radius <= spec.max_radius + 1e-12:
-            outcomes: List[Tuple[Optional[SubsequenceMatch], QueryStats]] = self._fan_out(
-                lambda shard: shard.pipeline.run_nearest_pass(query, radius)
+            outcomes: List[Tuple[List[SubsequenceMatch], QueryStats]] = self._fan_out(
+                lambda shard: shard.pipeline.run_scored_pass(query, radius)
             )
             passes.append(QueryStats.across_shards([stats for _, stats in outcomes]))
-            best: Optional[SubsequenceMatch] = None
-            for candidate, _stats in outcomes:
-                if candidate is None:
-                    continue
-                if best is None or candidate.distance < best.distance:
-                    best = candidate
-            if best is not None:
-                self._finalize_stats(QueryStats.merged(passes))
-                return best
+            for matches, _stats in outcomes:
+                for match in matches:
+                    candidates.add(match)
+            if candidates.full:
+                break
             radius += increment
-        self._finalize_stats(QueryStats.merged(passes))
-        return None
+        stats = self._finalize_stats(QueryStats.merged(passes))
+        return candidates.ranked(), stats
 
-    # ------------------------------------------------------------------ #
-    # Multi-query entry point
-    # ------------------------------------------------------------------ #
-    def batch_query(
-        self, queries: List[Sequence], spec: QuerySpec
-    ) -> List[Union[List[SubsequenceMatch], Optional[SubsequenceMatch]]]:
-        """Answer many same-type queries; see
-        :meth:`~repro.core.matcher.SubsequenceMatcher.batch_query`."""
-        if isinstance(spec, (int, float)):
-            spec = RangeQuery(radius=float(spec))
-        if isinstance(spec, RangeQuery):
-            run = self.range_search
-        elif isinstance(spec, LongestSubsequenceQuery):
-            run = self.longest_similar
-        elif isinstance(spec, NearestSubsequenceQuery):
-            run = self.nearest_subsequence
-        else:
-            raise QueryError(f"unsupported query spec: {spec!r}")
-        results = []
-        batch_stats: List[QueryStats] = []
-        for query in queries:
-            try:
-                results.append(run(query, spec))
-            except QueryError:
-                results.append(None)
-            batch_stats.append(self.last_query_stats)
-        self.last_batch_stats = batch_stats
-        return results
+    # ``execute_many`` and the legacy per-sequence wrappers come from
+    # :class:`~repro.core.query_api.QueryInterfaceMixin`, shared with the
+    # plain matcher.
 
     # ------------------------------------------------------------------ #
     # Snapshot support

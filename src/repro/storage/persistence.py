@@ -405,6 +405,12 @@ def load_matcher(path: PathLike, distance=None, cache=None):
         re-derived from the database (pure slicing, no distance
         computations) and validated against the snapshot's key list, and
         the index structure and cache contents come straight from disk.
+        The loaded matcher serves the full declarative query API --
+        ``execute`` / ``execute_many`` over every spec type including
+        :class:`~repro.core.queries.TopKQuery` -- with byte-identical
+        results and work counters to the in-memory matcher that was saved;
+        :class:`~repro.core.service.SearchService` accepts a snapshot path
+        directly and defers this load to the first query.
     """
     from repro.core.config import MatcherConfig
     from repro.core.sharded import ShardedMatcher

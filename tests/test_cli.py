@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -147,6 +149,129 @@ class TestSearch:
         captured = capsys.readouterr()
         assert code == 1
         assert "error" in captured.err
+
+
+class TestSearchTypesAndJson:
+    BASE = [
+        "--dataset",
+        "songs",
+        "--radius",
+        "3.0",
+        "--min-length",
+        "20",
+        "--max-shift",
+        "1",
+    ]
+
+    def test_search_type_topk(self, generated_db, capsys):
+        code = main(
+            ["search", str(generated_db), *self.BASE, "--type", "topk", "--k", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.count("SubsequenceMatch") == 2
+
+    def test_search_type_nearest(self, generated_db, capsys):
+        code = main(["search", str(generated_db), *self.BASE, "--type", "nearest"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "SubsequenceMatch" in captured.out
+
+    def test_search_type_range_with_paging(self, generated_db, capsys):
+        code = main(
+            ["search", str(generated_db), *self.BASE, "--type", "range", "--limit", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.count("SubsequenceMatch") == 1
+        assert "adjust --limit/--offset" in captured.out
+
+    def _json_payload(self, generated_db, capsys, *extra):
+        code = main(["search", str(generated_db), *self.BASE, "--json", *extra])
+        captured = capsys.readouterr()
+        assert code == 0
+        return json.loads(captured.out)
+
+    def test_json_envelope_schema(self, generated_db, capsys):
+        payload = self._json_payload(generated_db, capsys, "--type", "topk", "--k", "2")
+        assert payload["schema_version"] == 1
+        assert payload["query"]["type"] == "topk"
+        assert payload["query"]["k"] == 2
+        assert payload["error"] is None
+        assert payload["total_matches"] >= len(payload["matches"]) > 0
+        for match in payload["matches"]:
+            assert set(match) == {
+                "source_id",
+                "query_start",
+                "query_stop",
+                "db_start",
+                "db_stop",
+                "distance",
+                "length",
+            }
+        stats = payload["stats"]
+        for counter in (
+            "segments_extracted",
+            "index_distance_computations",
+            "verification_distance_computations",
+            "naive_distance_computations",
+            "pruning_ratio",
+            "passes",
+            "executor",
+            "workers",
+            "shards",
+            "stage_seconds",
+            "cpu_stage_seconds",
+        ):
+            assert counter in stats
+        config = payload["config"]
+        assert config["distance"] == "frechet"
+        assert config["min_length"] == 20
+        assert len(config["fingerprint"]) == 16
+        int(config["fingerprint"], 16)  # hex digest
+
+    def test_json_default_type_is_longest(self, generated_db, capsys):
+        payload = self._json_payload(generated_db, capsys)
+        assert payload["query"]["type"] == "longest"
+        assert len(payload["matches"]) <= 1
+
+    def test_json_envelope_is_stable_across_runs(self, generated_db, capsys):
+        first = self._json_payload(generated_db, capsys, "--type", "topk", "--k", "3")
+        second = self._json_payload(generated_db, capsys, "--type", "topk", "--k", "3")
+        # Wall-clock timings aside, two identical invocations emit the
+        # identical envelope -- matches, work counters, and fingerprint.
+        for payload in (first, second):
+            payload["stats"].pop("stage_seconds")
+            payload["stats"].pop("cpu_stage_seconds")
+        assert first == second
+
+    def test_json_snapshot_search_matches_plain(self, generated_db, tmp_path, capsys):
+        snapshot = tmp_path / "songs-matcher.npz"
+        assert (
+            main(
+                [
+                    "snapshot",
+                    str(generated_db),
+                    str(snapshot),
+                    "--dataset",
+                    "songs",
+                    "--min-length",
+                    "20",
+                    "--max-shift",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        plain = self._json_payload(generated_db, capsys, "--type", "topk", "--k", "2")
+        from_snapshot = self._json_payload(
+            snapshot, capsys, "--type", "topk", "--k", "2", "--snapshot"
+        )
+        for payload in (plain, from_snapshot):
+            payload["stats"].pop("stage_seconds")
+            payload["stats"].pop("cpu_stage_seconds")
+        assert plain == from_snapshot
 
 
 class TestSnapshotVerbs:

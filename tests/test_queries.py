@@ -9,7 +9,9 @@ from repro import (
     QueryStats,
     RangeQuery,
     SubsequenceMatch,
+    TopKQuery,
 )
+from repro.core.queries import as_query_spec
 
 
 class TestQuerySpecs:
@@ -38,6 +40,33 @@ class TestQuerySpecs:
             NearestSubsequenceQuery(max_radius=1.0, tolerance=0.0)
         with pytest.raises(QueryError):
             NearestSubsequenceQuery(max_radius=1.0, radius_increment=-0.1)
+
+    def test_topk_query_validation(self):
+        spec = TopKQuery(k=3, max_radius=5.0)
+        assert spec.k == 3 and spec.limit is None and spec.offset == 0
+        with pytest.raises(QueryError):
+            TopKQuery(k=0, max_radius=5.0)
+        with pytest.raises(QueryError):
+            TopKQuery(k=1, max_radius=-1.0)
+
+    def test_specs_are_unbound_templates_by_default(self):
+        for spec in (
+            RangeQuery(radius=1.0),
+            LongestSubsequenceQuery(radius=1.0),
+            NearestSubsequenceQuery(max_radius=1.0),
+            TopKQuery(k=2, max_radius=1.0),
+        ):
+            assert spec.query is None
+            assert spec.describe()["type"] == spec.kind
+
+    def test_as_query_spec_coerces_numbers_to_range(self):
+        spec = as_query_spec(2)
+        assert isinstance(spec, RangeQuery) and spec.radius == 2.0
+        assert as_query_spec(spec) is spec
+        with pytest.raises(QueryError):
+            as_query_spec("nope")
+        with pytest.raises(QueryError):
+            as_query_spec(True)
 
 
 class TestSubsequenceMatch:
