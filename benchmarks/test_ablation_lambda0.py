@@ -11,6 +11,7 @@ from _harness import scaled
 from repro.analysis.reporting import format_table
 from repro.core.config import MatcherConfig
 from repro.core.matcher import SubsequenceMatcher
+from repro.core.queries import LongestSubsequenceQuery
 from repro.core.segmentation import extract_query_segments
 from repro.datasets.loaders import load_dataset
 from repro.datasets.trajectories import generate_trajectory_query
@@ -35,8 +36,11 @@ def test_ablation_lambda0(benchmark):
             config = MatcherConfig(min_length=40, max_shift=shift)
             matcher = SubsequenceMatcher(database, distance, config)
             segments = extract_query_segments(query, config)
-            best = matcher.longest_similar(query, radius)
-            stats = matcher.last_query_stats
+            result = matcher.execute(
+                LongestSubsequenceQuery(radius=radius).bind(query)
+            )
+            best = result.best
+            stats = result.stats
             rows.append(
                 {
                     "shift": shift,

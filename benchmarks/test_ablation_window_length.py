@@ -11,6 +11,7 @@ from _harness import scaled
 from repro.analysis.reporting import format_table
 from repro.core.config import MatcherConfig
 from repro.core.matcher import SubsequenceMatcher
+from repro.core.queries import LongestSubsequenceQuery
 from repro.datasets.loaders import load_dataset
 from repro.datasets.songs import generate_song_query
 from repro.distances.frechet import DiscreteFrechet
@@ -40,8 +41,11 @@ def test_ablation_window_length(benchmark):
         rows = []
         for label, config in configs.items():
             matcher = SubsequenceMatcher(database, distance, config)
-            best = matcher.longest_similar(query, radius)
-            stats = matcher.last_query_stats
+            result = matcher.execute(
+                LongestSubsequenceQuery(radius=radius).bind(query)
+            )
+            best = result.best
+            stats = result.stats
             rows.append(
                 {
                     "label": label,

@@ -13,7 +13,13 @@ from _harness import scaled
 from repro.analysis.reporting import format_table
 from repro.core.config import MatcherConfig
 from repro.core.matcher import SubsequenceMatcher
-from repro.core.queries import NearestSubsequenceQuery, TopKQuery, match_ranking_key
+from repro.core.queries import (
+    LongestSubsequenceQuery,
+    NearestSubsequenceQuery,
+    RangeQuery,
+    TopKQuery,
+    match_ranking_key,
+)
 from repro.datasets.loaders import dataset_distance, load_dataset
 from repro.datasets.proteins import generate_protein_query
 from repro.datasets.songs import generate_song_query
@@ -44,14 +50,14 @@ def test_end_to_end_query_types(benchmark, dataset, distance_name, radius, max_r
 
     def run():
         results = {}
-        type_one = matcher.range_search(query, radius)
-        results["Type I (range)"] = (len(type_one), matcher.last_query_stats)
-        type_two = matcher.longest_similar(query, radius)
-        results["Type II (longest)"] = (type_two, matcher.last_query_stats)
-        type_three = matcher.nearest_subsequence(
-            query, NearestSubsequenceQuery(max_radius=max_radius)
+        type_one = matcher.execute(RangeQuery(radius=radius).bind(query))
+        results["Type I (range)"] = (len(type_one.matches), type_one.stats)
+        type_two = matcher.execute(LongestSubsequenceQuery(radius=radius).bind(query))
+        results["Type II (longest)"] = (type_two.best, type_two.stats)
+        type_three = matcher.execute(
+            NearestSubsequenceQuery(max_radius=max_radius).bind(query)
         )
-        results["Type III (nearest)"] = (type_three, matcher.last_query_stats)
+        results["Type III (nearest)"] = (type_three.best, type_three.stats)
         return results
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)

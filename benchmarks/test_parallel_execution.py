@@ -20,7 +20,11 @@ from _harness import scaled
 from repro.analysis.reporting import format_table
 from repro.core.config import MatcherConfig
 from repro.core.matcher import SubsequenceMatcher
-from repro.core.queries import NearestSubsequenceQuery
+from repro.core.queries import (
+    LongestSubsequenceQuery,
+    NearestSubsequenceQuery,
+    RangeQuery,
+)
 from repro.core.sharded import ShardedMatcher
 from repro.datasets.loaders import dataset_distance, load_dataset
 from repro.datasets.songs import generate_song_query
@@ -62,16 +66,18 @@ def test_end_to_end_parallel_songs(benchmark, leg, executor, shards):
 
     def run():
         outcome = {}
-        matches = matcher.range_search(query, RADIUS)
+        matches = matcher.execute(RangeQuery(radius=RADIUS).bind(query)).matches
         outcome["range"] = sorted(
             (m.source_id, m.query_start, m.query_stop, m.db_start, m.db_stop)
             for m in matches
         )
-        longest = matcher.longest_similar(query, RADIUS)
+        longest = matcher.execute(
+            LongestSubsequenceQuery(radius=RADIUS).bind(query)
+        ).best
         outcome["longest"] = (longest.length, round(longest.distance, 9))
-        nearest = matcher.nearest_subsequence(
-            query, NearestSubsequenceQuery(max_radius=MAX_RADIUS)
-        )
+        nearest = matcher.execute(
+            NearestSubsequenceQuery(max_radius=MAX_RADIUS).bind(query)
+        ).best
         outcome["nearest"] = round(nearest.distance, 9)
         return outcome
 

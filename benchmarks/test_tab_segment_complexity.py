@@ -13,6 +13,7 @@ from _harness import scaled
 from repro.analysis.reporting import format_table
 from repro.core.config import MatcherConfig
 from repro.core.matcher import SubsequenceMatcher
+from repro.core.queries import LongestSubsequenceQuery
 from repro.core.segmentation import count_segment_pairs
 from repro.datasets.loaders import load_dataset
 from repro.datasets.songs import generate_song_query
@@ -35,8 +36,9 @@ def test_segment_pair_complexity(benchmark):
             query, _, _ = generate_song_query(database, length=80, noise=0.2, seed=3)
             counts = count_segment_pairs(query, database, config)
             matcher = SubsequenceMatcher(database, distance, config)
-            matcher.longest_similar(query, 2.0)
-            stats = matcher.last_query_stats
+            stats = matcher.execute(
+                LongestSubsequenceQuery(radius=2.0).bind(query)
+            ).stats
             rows.append(
                 {
                     "windows": counts["windows"],

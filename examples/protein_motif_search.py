@@ -15,7 +15,13 @@ from __future__ import annotations
 
 import os
 
-from repro import Levenshtein, MatcherConfig, NearestSubsequenceQuery, SubsequenceMatcher
+from repro import (
+    Levenshtein,
+    LongestSubsequenceQuery,
+    MatcherConfig,
+    NearestSubsequenceQuery,
+    SubsequenceMatcher,
+)
 from repro.datasets import generate_protein_database, generate_protein_query
 
 #: CI's smoke job shrinks the generated dataset via REPRO_EXAMPLE_SCALE.
@@ -52,8 +58,9 @@ def main() -> None:
 
     print("\nType II -- longest region of the query with an edit-similar region in the database")
     for radius in (4.0, 8.0, 12.0):
-        best = matcher.longest_similar(query, radius)
-        stats = matcher.last_query_stats
+        result = matcher.execute(LongestSubsequenceQuery(radius=radius).bind(query))
+        best = result.best
+        stats = result.stats
         if best is None:
             print(f"  radius {radius:>4}: no match")
             continue
@@ -66,7 +73,9 @@ def main() -> None:
         )
 
     print("\nType III -- closest database region regardless of radius")
-    nearest = matcher.nearest_subsequence(query, NearestSubsequenceQuery(max_radius=25.0))
+    nearest = matcher.execute(
+        NearestSubsequenceQuery(max_radius=25.0).bind(query)
+    ).best
     if nearest is not None:
         matched = database[nearest.source_id].subsequence(nearest.db_start, nearest.db_stop)
         print(f"  {nearest}")

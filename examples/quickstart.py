@@ -15,6 +15,7 @@ import numpy as np
 
 from repro import (
     DiscreteFrechet,
+    LongestSubsequenceQuery,
     MatcherConfig,
     NearestSubsequenceQuery,
     RangeQuery,
@@ -63,26 +64,27 @@ def main() -> None:
     pattern = 3.0 * np.sin(np.linspace(0.0, 4.0 * np.pi, 30))
     query = Sequence.from_values(pattern + rng.normal(scale=0.05, size=30), seq_id="query")
 
+    # Every query type is a declarative spec: build it, bind the query
+    # sequence, execute -- one envelope shape whatever the type.
     print("\nType II -- longest similar subsequence (radius 0.5):")
-    best = matcher.longest_similar(query, 0.5)
-    print(f"  {best}")
-    stats = matcher.last_query_stats
+    longest = matcher.execute(LongestSubsequenceQuery(radius=0.5).bind(query))
+    print(f"  {longest.best}")
+    stats = longest.stats
     print(
         f"  index distance computations: {stats.index_distance_computations} "
         f"(a naive scan of step 4 would need {stats.naive_distance_computations})"
     )
 
     print("\nType III -- nearest subsequence:")
-    nearest = matcher.nearest_subsequence(query, NearestSubsequenceQuery(max_radius=5.0))
-    print(f"  {nearest}")
+    nearest = matcher.execute(NearestSubsequenceQuery(max_radius=5.0).bind(query))
+    print(f"  {nearest.best}")
 
     print("\nType I -- all similar subsequence pairs (radius 0.5):")
-    for match in matcher.range_search(query, RangeQuery(radius=0.5)):
+    for match in matcher.execute(RangeQuery(radius=0.5).bind(query)).matches:
         print(f"  {match}")
 
-    # The declarative style: build a spec, bind the query sequence, execute
-    # through the backend-agnostic service facade.  Every query type goes
-    # through the same execute() -> QueryResult envelope.
+    # The same specs execute through the backend-agnostic service facade,
+    # which is also what the HTTP server wraps (see `repro serve`).
     print("\nTop-k -- the 3 nearest subsequence pairs, declaratively:")
     service = SearchService(matcher)
     result = service.execute(TopKQuery(k=3, max_radius=5.0).bind(query))

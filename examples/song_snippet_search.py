@@ -16,7 +16,13 @@ from __future__ import annotations
 
 import os
 
-from repro import DiscreteFrechet, MatcherConfig, RangeQuery, SubsequenceMatcher
+from repro import (
+    DiscreteFrechet,
+    LongestSubsequenceQuery,
+    MatcherConfig,
+    RangeQuery,
+    SubsequenceMatcher,
+)
 from repro.datasets import generate_song_database, generate_song_query
 from repro.analysis import distance_distribution
 from repro.analysis.reporting import format_histogram
@@ -50,7 +56,9 @@ def main() -> None:
 
     print("\nType II -- longest matching passage per radius:")
     for radius in (1.0, 2.0, 3.0):
-        best = matcher.longest_similar(query, radius)
+        best = matcher.execute(
+            LongestSubsequenceQuery(radius=radius).bind(query)
+        ).best
         if best is None:
             print(f"  radius {radius}: nothing at least {config.min_length} notes long")
         else:
@@ -62,7 +70,9 @@ def main() -> None:
             )
 
     print("\nType I -- every catalogue passage within DFD 1.5 of a query passage:")
-    matches = matcher.range_search(query, RangeQuery(radius=1.5, max_results=10))
+    matches = list(
+        matcher.execute(RangeQuery(radius=1.5, max_results=10).bind(query)).matches
+    )
     for match in matches:
         print(f"  {match}")
     if not matches:

@@ -18,6 +18,7 @@ import os
 from repro import (
     DiscreteFrechet,
     ERP,
+    LongestSubsequenceQuery,
     MatcherConfig,
     SubsequenceMatcher,
 )
@@ -54,8 +55,9 @@ def main() -> None:
         ("ERP", ERP(), 150.0),
     ):
         matcher = SubsequenceMatcher(database, distance, config)
-        best = matcher.longest_similar(query, radius)
-        stats = matcher.last_query_stats
+        result = matcher.execute(LongestSubsequenceQuery(radius=radius).bind(query))
+        best = result.best
+        stats = result.stats
         print(f"\n{name} (radius {radius}):")
         if best is None:
             print("  no similar sub-trajectory found")

@@ -18,7 +18,7 @@ Quickstart::
 
     from repro import (
         Sequence, SequenceDatabase, SequenceKind, DiscreteFrechet,
-        SubsequenceMatcher, MatcherConfig,
+        SubsequenceMatcher, MatcherConfig, LongestSubsequenceQuery,
     )
 
     db = SequenceDatabase(SequenceKind.TIME_SERIES)
@@ -26,7 +26,8 @@ Quickstart::
     matcher = SubsequenceMatcher(db, DiscreteFrechet(),
                                  MatcherConfig(min_length=20, max_shift=2))
     query = Sequence.from_values(range(30, 70), seq_id="q")
-    print(matcher.longest_similar(query, 0.5))
+    spec = LongestSubsequenceQuery(radius=0.5).bind(query)
+    print(matcher.execute(spec).best)
 """
 
 from repro.exceptions import (
@@ -95,6 +96,7 @@ from repro.storage import (
     load_matcher,
 )
 from repro.core import (
+    WIRE_SCHEMA_VERSION,
     MatcherConfig,
     QueryResult,
     QueryStats,
@@ -108,8 +110,16 @@ from repro.core import (
     ShardedMatcher,
     TopKQuery,
     QueryPipeline,
+    SearchRequest,
+    canonical_json,
     config_fingerprint,
+    error_envelope,
     make_executor,
+    parse_search_request,
+    parse_spec,
+    result_envelope,
+    sequence_from_wire,
+    sequence_to_wire,
     partition_database,
     extract_query_segments,
     chain_segment_matches,
@@ -191,6 +201,16 @@ __all__ = [
     "config_fingerprint",
     "make_executor",
     "QueryPipeline",
+    # wire format (CLI --json + HTTP service)
+    "WIRE_SCHEMA_VERSION",
+    "SearchRequest",
+    "canonical_json",
+    "error_envelope",
+    "parse_search_request",
+    "parse_spec",
+    "result_envelope",
+    "sequence_from_wire",
+    "sequence_to_wire",
     "partition_database",
     "extract_query_segments",
     "chain_segment_matches",

@@ -20,6 +20,12 @@ Commands
     Generate new sequences and add them to a saved snapshot *incrementally*
     -- windows are inserted into the persisted index without a rebuild --
     then write the snapshot back in place.
+``serve``
+    Put the declarative query API on the wire: serve a database or matcher
+    snapshot over HTTP (``POST /search`` and friends; see
+    :mod:`repro.server`).  With ``--snapshot`` the state loads lazily and
+    is written back on shutdown, so mutations made over ``POST /sequences``
+    survive a restart.
 ``distribution``
     Print the pairwise window distance distribution of a dataset
     (the paper's Figure 4 for one dataset/distance pairing).
@@ -33,7 +39,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import asdict
 from typing import List, Optional
 
 from repro.analysis.distributions import distance_distribution
@@ -55,6 +60,7 @@ from repro.core.queries import (
     TopKQuery,
 )
 from repro.core.service import SearchService
+from repro.core.wire import result_envelope
 from repro.core.sharded import ShardedMatcher
 from repro.datasets.loaders import dataset_distance, dataset_windows, load_dataset
 from repro.datasets.proteins import generate_protein_query
@@ -162,6 +168,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "README's 'repro search --json' section) instead of the text report",
     )
     search.add_argument(
+        "--request-id",
+        default=None,
+        help="with --json: echo this id in the envelope's request_id field "
+        "(the HTTP service echoes the same field, making CLI and server "
+        "envelopes byte-comparable)",
+    )
+    search.add_argument(
+        "--no-timings",
+        action="store_true",
+        help="with --json: emit empty stage_seconds/cpu_stage_seconds blocks "
+        "so two identical invocations produce byte-identical envelopes",
+    )
+    search.add_argument(
         "--stats",
         action="store_true",
         help="print the QueryStats table (pruning ratio, cache hits, "
@@ -208,6 +227,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="generation seed; also namespaces the new sequence ids, so use "
         "a fresh value per invocation",
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve the query API over HTTP (see the README's API section)"
+    )
+    serve.add_argument(
+        "database",
+        help="database .npz produced by 'generate' (or a matcher snapshot "
+        "produced by 'snapshot' when --snapshot is given)",
+    )
+    serve.add_argument(
+        "--dataset",
+        choices=["proteins", "songs", "traj"],
+        default=None,
+        help="dataset family of the database (required unless --snapshot)",
+    )
+    serve.add_argument("--distance", default=None, help="distance name (defaults per dataset)")
+    serve.add_argument("--min-length", type=int, default=40)
+    serve.add_argument("--max-shift", type=int, default=2)
+    serve.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="treat the positional path as a matcher snapshot: state loads "
+        "lazily on the first query and is written back on shutdown",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--server-backend",
+        choices=["auto", "uvicorn", "stdlib"],
+        default="auto",
+        help="HTTP runtime: auto picks uvicorn when installed, else the "
+        "dependency-free stdlib server",
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=16,
+        help="admission control: reject (503) beyond this many concurrent queries",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="default per-request deadline in seconds (504 past it)",
+    )
+    serve.add_argument(
+        "--no-snapshot-on-exit",
+        action="store_true",
+        help="with --snapshot: do not write the matcher state back on shutdown",
+    )
+    _add_execution_flags(serve)
 
     distribution = subparsers.add_parser(
         "distribution", help="pairwise window distance distribution (Figure 4)"
@@ -287,55 +357,26 @@ def _build_query_spec(args: argparse.Namespace):
 
 
 def _json_envelope(
-    result: QueryResult, service: SearchService, source_id: str, offset: int
+    result: QueryResult,
+    service: SearchService,
+    source_id: str,
+    offset: int,
+    request_id: Optional[str] = None,
+    include_timings: bool = True,
 ) -> dict:
-    """The stable ``repro search --json`` envelope (see README for the schema)."""
-    stats = result.stats
-    backend = service.backend
-    return {
-        "schema_version": 1,
-        "query": result.query.describe(),
-        "query_origin": {"source_id": source_id, "offset": int(offset)},
-        "matches": [
-            {
-                "source_id": match.source_id,
-                "query_start": match.query_start,
-                "query_stop": match.query_stop,
-                "db_start": match.db_start,
-                "db_stop": match.db_stop,
-                "distance": match.distance,
-                "length": match.length,
-            }
-            for match in result.matches
-        ],
-        "total_matches": result.total_matches,
-        "error": result.error,
-        "stats": {
-            "segments_extracted": stats.segments_extracted,
-            "segment_matches": stats.segment_matches,
-            "candidate_chains": stats.candidate_chains,
-            "index_distance_computations": stats.index_distance_computations,
-            "verification_distance_computations": stats.verification_distance_computations,
-            "index_cache_hits": stats.index_cache_hits,
-            "verification_cache_hits": stats.verification_cache_hits,
-            "prefilter_evaluations": stats.prefilter_evaluations,
-            "prefilter_pruned": stats.prefilter_pruned,
-            "naive_distance_computations": stats.naive_distance_computations,
-            "pruning_ratio": stats.pruning_ratio,
-            "passes": len(stats.passes),
-            "executor": stats.executor,
-            "workers": stats.workers,
-            "shards": stats.shards,
-            "stage_seconds": dict(stats.stage_timings),
-            "cpu_stage_seconds": dict(stats.cpu_stage_timings),
-        },
-        "config": {
-            "fingerprint": service.fingerprint(),
-            "backend": type(backend).__name__,
-            "distance": backend.distance.name,
-            **asdict(backend.config),
-        },
-    }
+    """The ``repro search --json`` envelope (see README for the schema).
+
+    Built by :func:`repro.core.wire.result_envelope` -- the identical
+    builder behind every HTTP response -- with the CLI's query provenance
+    echoed as ``query_origin``.
+    """
+    return result_envelope(
+        result,
+        service,
+        request_id=request_id,
+        query_origin={"source_id": source_id, "offset": int(offset)},
+        include_timings=include_timings,
+    )
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -359,7 +400,15 @@ def _cmd_search(args: argparse.Namespace) -> int:
     query, source_id, offset = _generate_query(args.dataset, database, args.seed)
     result = service.execute(_build_query_spec(args).bind(query))
     if args.json:
-        print(json.dumps(_json_envelope(result, service, source_id, offset), indent=2))
+        envelope = _json_envelope(
+            result,
+            service,
+            source_id,
+            offset,
+            request_id=args.request_id,
+            include_timings=not args.no_timings,
+        )
+        print(json.dumps(envelope, indent=2))
         return 0
     print(f"query cut from {source_id!r} at offset {offset}")
     if not result.matches:
@@ -423,6 +472,37 @@ def _cmd_add(args: argparse.Namespace) -> int:
         f"{args.snapshot} in place"
     )
     _print_index_stats(matcher, title="index state after update")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here: the CLI stays usable even if the server package is
+    # stripped from a deployment.
+    from repro.server import serve
+
+    if args.snapshot:
+        distance = None
+        if args.distance is not None:
+            if args.dataset is None:
+                raise ReproError("--distance with --snapshot also needs --dataset")
+            distance = dataset_distance(args.dataset, args.distance)
+        service = SearchService(args.database, distance=distance)
+    else:
+        if args.dataset is None:
+            raise ReproError("serve needs --dataset (or --snapshot)")
+        database = load_database(args.database)
+        distance_name = _default_distance(args.dataset, args.distance)
+        distance = dataset_distance(args.dataset, distance_name)
+        service = SearchService(_build_matcher(database, distance, _matcher_config(args)))
+    serve(
+        service,
+        host=args.host,
+        port=args.port,
+        backend=args.server_backend,
+        snapshot_on_exit=not args.no_snapshot_on_exit,
+        max_in_flight=args.max_in_flight,
+        default_timeout=args.timeout,
+    )
     return 0
 
 
@@ -495,6 +575,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "search": _cmd_search,
         "snapshot": _cmd_snapshot,
         "add": _cmd_add,
+        "serve": _cmd_serve,
         "distribution": _cmd_distribution,
         "compare-indexes": _cmd_compare_indexes,
     }

@@ -45,11 +45,31 @@ from repro.core.pipeline import ProbeResult, QueryPipeline
 from repro.core.matcher import SubsequenceMatcher
 from repro.core.sharded import ShardedMatcher
 from repro.core.service import SearchService, config_fingerprint
+from repro.core.wire import (
+    WIRE_SCHEMA_VERSION,
+    SearchRequest,
+    canonical_json,
+    error_envelope,
+    parse_search_request,
+    parse_spec,
+    result_envelope,
+    sequence_from_wire,
+    sequence_to_wire,
+)
 from repro.core.bruteforce import brute_force_matches, brute_force_longest, brute_force_nearest
 
 __all__ = [
     "SearchService",
     "config_fingerprint",
+    "WIRE_SCHEMA_VERSION",
+    "SearchRequest",
+    "canonical_json",
+    "error_envelope",
+    "parse_search_request",
+    "parse_spec",
+    "result_envelope",
+    "sequence_from_wire",
+    "sequence_to_wire",
     "Executor",
     "SerialExecutor",
     "ThreadPoolExecutor",

@@ -14,6 +14,7 @@ the ``last_query_stats`` / ``last_batch_stats`` attributes.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Union
 
 from repro.core.queries import (
@@ -81,6 +82,15 @@ class QueryInterfaceMixin:
     # ------------------------------------------------------------------ #
     # Legacy convenience methods: thin wrappers over execute()
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _warn_legacy(method: str, spec_class: str) -> None:
+        warnings.warn(
+            f"{method}() is deprecated; build a {spec_class} spec and call "
+            "execute(spec.bind(query)) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def range_search(
         self, query: Sequence, spec: Union[RangeQuery, float]
     ) -> List[SubsequenceMatch]:
@@ -93,6 +103,7 @@ class QueryInterfaceMixin:
         exhaustive=True)`` -- practical on small inputs only -- to
         enumerate every admissible pair in every candidate region.
         """
+        self._warn_legacy("range_search", "RangeQuery")
         if not isinstance(spec, RangeQuery):
             spec = RangeQuery(radius=float(spec))
         return list(self.execute(spec.bind(query)).matches)
@@ -108,6 +119,7 @@ class QueryInterfaceMixin:
         2``, so once a chain verifies, shorter chains that cannot possibly
         beat the verified length are skipped.
         """
+        self._warn_legacy("longest_similar", "LongestSubsequenceQuery")
         if not isinstance(spec, LongestSubsequenceQuery):
             spec = LongestSubsequenceQuery(radius=float(spec))
         return self.execute(spec.bind(query)).best
@@ -121,6 +133,7 @@ class QueryInterfaceMixin:
         :class:`~repro.core.queries.TopKQuery` with ``k=1`` (both run the
         backend's ``_radius_sweep``).
         """
+        self._warn_legacy("nearest_subsequence", "NearestSubsequenceQuery")
         if not isinstance(spec, NearestSubsequenceQuery):
             spec = NearestSubsequenceQuery(max_radius=float(spec))
         return self.execute(spec.bind(query)).best

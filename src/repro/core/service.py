@@ -27,28 +27,40 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import asdict
 from pathlib import Path
 from typing import List, Optional
 
 from repro.core.queries import QueryResult, QueryStats
+from repro.exceptions import StorageError
+
+from repro.sequences.sequence import Sequence
 
 
 def config_fingerprint(backend) -> str:
     """A short stable digest of everything that shapes a backend's answers.
 
     Covers the full :class:`~repro.core.config.MatcherConfig`, the distance
-    name, the backend class, and the shard count.  Two backends with equal
-    fingerprints answer every spec with identical matches and work counters
-    (executor/workers are part of the config but never change results; they
-    are included so the fingerprint also identifies the *performance*
-    configuration a measurement was taken under).
+    name, the backend class, the shard count, and the identity of the data
+    being searched (sequence ids and total element count).  Two backends
+    with equal fingerprints answer every spec with identical matches and
+    work counters (executor/workers are part of the config but never change
+    results; they are included so the fingerprint also identifies the
+    *performance* configuration a measurement was taken under).  Because
+    the data block is covered, any ``add_sequence`` / ``remove_sequence``
+    mutation invalidates the fingerprint -- a cached envelope can always be
+    tied to the exact corpus that produced it.
     """
+    database = getattr(backend, "database", None)
     payload = {
         "backend": type(backend).__name__,
         "config": asdict(backend.config),
         "distance": backend.distance.name,
         "shards": getattr(backend, "shard_count", 1),
+        "data": None
+        if database is None
+        else {"sequences": database.ids(), "total_length": database.total_length},
     }
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
@@ -93,6 +105,13 @@ class SearchService:
         self._snapshot_path: Optional[Path] = None
         self._load_distance = distance
         self._load_cache = cache
+        # Serialises every execute/mutation: the matcher pipeline keeps
+        # per-query scratch state (segment memo, index-counter checkpoints)
+        # and _with_executor temporarily rewrites the backend config, so one
+        # shared service instance must never run two queries concurrently.
+        # Callers (e.g. the HTTP server) may hold many requests in flight;
+        # this lock is what makes that safe.
+        self._lock = threading.RLock()
         if isinstance(backend, (str, Path)):
             self._snapshot_path = Path(backend)
         else:
@@ -102,18 +121,32 @@ class SearchService:
     def backend(self):
         """The wrapped matcher, loading the snapshot on first access."""
         if self._backend is None:
-            # Imported here: the service must stay importable without storage.
-            from repro.storage.persistence import load_matcher
+            with self._lock:
+                if self._backend is None:
+                    # Imported here: the service must stay importable
+                    # without storage.
+                    from repro.storage.persistence import load_matcher
 
-            self._backend = load_matcher(
-                self._snapshot_path, distance=self._load_distance, cache=self._load_cache
-            )
+                    self._backend = load_matcher(
+                        self._snapshot_path,
+                        distance=self._load_distance,
+                        cache=self._load_cache,
+                    )
         return self._backend
 
     @property
     def snapshot_path(self) -> Optional[Path]:
         """The snapshot path this service loads from, if path-backed."""
         return self._snapshot_path
+
+    @property
+    def loaded(self) -> bool:
+        """Whether a backend is in memory (``False``: snapshot not yet read).
+
+        Observing this never triggers the lazy load -- health checks can
+        report on an unloaded service without paying for the snapshot read.
+        """
+        return self._backend is not None
 
     @property
     def last_query_stats(self) -> QueryStats:
@@ -138,25 +171,27 @@ class SearchService:
         work counters are executor-independent, so overrides are always
         safe -- they change wall-clock, not answers.
         """
-        backend = self.backend
-        if executor is None and workers is None:
-            return run(backend)
-        # Restore the exact prior objects rather than calling set_executor
-        # again: set_executor(workers=None) deliberately *keeps* the current
-        # worker count, which would leak the override into the backend.
-        holder = backend.pipeline if hasattr(backend, "pipeline") else backend
-        previous_config = backend.config
-        previous_engine = holder.executor
-        backend.set_executor(
-            executor if executor is not None else previous_config.executor, workers
-        )
-        try:
-            return run(backend)
-        finally:
-            backend.config = previous_config
-            if holder is not backend:
-                holder.config = previous_config
-            holder.executor = previous_engine
+        with self._lock:
+            backend = self.backend
+            if executor is None and workers is None:
+                return run(backend)
+            # Restore the exact prior objects rather than calling set_executor
+            # again: set_executor(workers=None) deliberately *keeps* the
+            # current worker count, which would leak the override into the
+            # backend.
+            holder = backend.pipeline if hasattr(backend, "pipeline") else backend
+            previous_config = backend.config
+            previous_engine = holder.executor
+            backend.set_executor(
+                executor if executor is not None else previous_config.executor, workers
+            )
+            try:
+                return run(backend)
+            finally:
+                backend.config = previous_config
+                if holder is not backend:
+                    holder.config = previous_config
+                holder.executor = previous_engine
 
     def execute(
         self,
@@ -183,6 +218,45 @@ class SearchService:
         return self._with_executor(
             executor, workers, lambda backend: backend.execute_many(specs)
         )
+
+    # ------------------------------------------------------------------ #
+    # Mutations: first-class, backend-agnostic
+    # ------------------------------------------------------------------ #
+    def add_sequence(self, sequence: Sequence, seq_id: Optional[str] = None) -> str:
+        """Incrementally add a sequence through the wrapped backend.
+
+        Works identically over a plain matcher, a sharded matcher (which
+        continues its round-robin shard assignment), and a lazily-loaded
+        snapshot backend.  The service's :meth:`fingerprint` covers the
+        database contents, so it changes after every successful add.
+        """
+        with self._lock:
+            return self.backend.add_sequence(sequence, seq_id=seq_id)
+
+    def remove_sequence(self, seq_id: str) -> Sequence:
+        """Remove a sequence (and its index windows) through the backend."""
+        with self._lock:
+            return self.backend.remove_sequence(seq_id)
+
+    def save_snapshot(self, path=None) -> Path:
+        """Persist the backend's built state with ``save_matcher``.
+
+        ``path`` defaults to the snapshot path the service was constructed
+        from; a service wrapping an in-memory backend must pass one
+        explicitly.
+        """
+        with self._lock:
+            target = Path(path) if path is not None else self._snapshot_path
+            if target is None:
+                raise StorageError(
+                    "save_snapshot() needs a path: this service wraps an "
+                    "in-memory backend and was not constructed from a snapshot"
+                )
+            # Imported here: the service must stay importable without storage.
+            from repro.storage.persistence import save_matcher
+
+            save_matcher(self.backend, target)
+            return target
 
     def __repr__(self) -> str:
         if self._backend is None:

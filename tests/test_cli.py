@@ -194,7 +194,10 @@ class TestSearchTypesAndJson:
 
     def test_json_envelope_schema(self, generated_db, capsys):
         payload = self._json_payload(generated_db, capsys, "--type", "topk", "--k", "2")
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
+        assert payload["request_id"] is None
+        assert payload["server"]["name"] == "repro-search"
+        assert payload["server"]["version"]
         assert payload["query"]["type"] == "topk"
         assert payload["query"]["k"] == 2
         assert payload["error"] is None
@@ -234,6 +237,24 @@ class TestSearchTypesAndJson:
         payload = self._json_payload(generated_db, capsys)
         assert payload["query"]["type"] == "longest"
         assert len(payload["matches"]) <= 1
+
+    def test_json_request_id_is_echoed(self, generated_db, capsys):
+        payload = self._json_payload(
+            generated_db, capsys, "--request-id", "cli-run-7"
+        )
+        assert payload["request_id"] == "cli-run-7"
+
+    def test_json_no_timings_is_deterministic(self, generated_db, capsys):
+        first = self._json_payload(
+            generated_db, capsys, "--type", "topk", "--k", "3", "--no-timings"
+        )
+        second = self._json_payload(
+            generated_db, capsys, "--type", "topk", "--k", "3", "--no-timings"
+        )
+        # Nothing popped: with --no-timings the whole envelope is stable.
+        assert first["stats"]["stage_seconds"] == {}
+        assert first["stats"]["cpu_stage_seconds"] == {}
+        assert first == second
 
     def test_json_envelope_is_stable_across_runs(self, generated_db, capsys):
         first = self._json_payload(generated_db, capsys, "--type", "topk", "--k", "3")

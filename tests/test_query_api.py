@@ -311,3 +311,27 @@ class TestRankingKey:
         near = SubsequenceMatch(0.5, "z", 0, 12, 0, 12)
         far = SubsequenceMatch(2.0, "a", 0, 40, 0, 40)
         assert match_ranking_key(near) < match_ranking_key(far)
+
+
+class TestLegacyDeprecation:
+    """The per-type wrappers still work but steer callers to execute()."""
+
+    def test_range_search_warns(self, matcher, pattern_query):
+        with pytest.warns(DeprecationWarning, match="range_search"):
+            matcher.range_search(pattern_query, 0.5)
+
+    def test_longest_similar_warns(self, matcher, pattern_query):
+        with pytest.warns(DeprecationWarning, match="longest_similar"):
+            matcher.longest_similar(pattern_query, 0.5)
+
+    def test_nearest_subsequence_warns(self, matcher, pattern_query):
+        with pytest.warns(DeprecationWarning, match="nearest_subsequence"):
+            matcher.nearest_subsequence(pattern_query, 5.0)
+
+    def test_execute_does_not_warn(self, matcher, pattern_query):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            matcher.execute(RangeQuery(radius=0.5).bind(pattern_query))
+            matcher.execute(TopKQuery(k=1, max_radius=10.0).bind(pattern_query))

@@ -1,0 +1,652 @@
+"""Tests for the HTTP service (``repro.server``).
+
+Two harnesses drive the same :class:`SearchApp`:
+
+* an in-process ASGI call (no socket) for endpoint semantics and error
+  paths, and
+* :class:`BackgroundServer` -- the real stdlib HTTP server on a real
+  socket -- for the wire-parity and concurrency guarantees.
+
+The load-bearing claims: ``POST /search`` is byte-identical to the
+in-process ``result_envelope(service.execute(spec), ...)`` for every query
+type on plain, sharded, and snapshot backends (and ``repro search --json``
+emits exactly that envelope -- see ``test_cli.py``), and the server admits
+>= 8 concurrent queries whose answers match a serial run byte for byte.
+"""
+
+import asyncio
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import (
+    DiscreteFrechet,
+    LongestSubsequenceQuery,
+    MatcherConfig,
+    NearestSubsequenceQuery,
+    RangeQuery,
+    SearchService,
+    Sequence,
+    SequenceDatabase,
+    SequenceKind,
+    ShardedMatcher,
+    SubsequenceMatcher,
+    TopKQuery,
+    canonical_json,
+    result_envelope,
+    save_matcher,
+    sequence_to_wire,
+)
+from repro.server import BackgroundServer, SearchApp, ServerMetrics
+
+
+@pytest.fixture
+def planted_db():
+    generator = np.random.default_rng(11)
+    pattern = np.cumsum(generator.normal(size=24))
+    db = SequenceDatabase(SequenceKind.TIME_SERIES, name="planted")
+    first = np.concatenate([generator.uniform(30, 40, 8), pattern, generator.uniform(30, 40, 8)])
+    second = np.concatenate([generator.uniform(-40, -30, 14), pattern, generator.uniform(-40, -30, 2)])
+    third = generator.uniform(80, 90, size=40)
+    db.add(Sequence.from_values(first, seq_id="with-pattern-1"))
+    db.add(Sequence.from_values(second, seq_id="with-pattern-2"))
+    db.add(Sequence.from_values(third, seq_id="background"))
+    return db
+
+
+@pytest.fixture
+def pattern_query(planted_db):
+    source = planted_db["with-pattern-1"]
+    return Sequence(np.asarray(source.values[8:32]) + 0.01, SequenceKind.TIME_SERIES, "query")
+
+
+@pytest.fixture
+def config():
+    return MatcherConfig(min_length=12, max_shift=1)
+
+
+ALL_SPECS = [
+    RangeQuery(radius=0.5),
+    LongestSubsequenceQuery(radius=0.5),
+    NearestSubsequenceQuery(max_radius=10.0),
+    TopKQuery(k=3, max_radius=10.0),
+]
+
+TOPK = TopKQuery(k=3, max_radius=10.0)
+
+
+def make_service(planted_db, config, backend: str, tmp_path=None) -> SearchService:
+    """A FRESH service per call -- parity tests must never share caches."""
+    if backend == "plain":
+        return SearchService(SubsequenceMatcher(planted_db, DiscreteFrechet(), config))
+    if backend == "sharded":
+        return SearchService(
+            ShardedMatcher(planted_db, DiscreteFrechet(), config, shards=2)
+        )
+    if backend == "snapshot":
+        path = tmp_path / "matcher.npz"
+        if not path.exists():
+            save_matcher(SubsequenceMatcher(planted_db, DiscreteFrechet(), config), path)
+        return SearchService(path)
+    raise AssertionError(backend)
+
+
+def search_body(spec, query, **extra):
+    body = {"query": spec.describe(), "sequence": sequence_to_wire(query)}
+    body.update(extra)
+    return body
+
+
+# --------------------------------------------------------------------- #
+# In-process ASGI harness
+# --------------------------------------------------------------------- #
+def asgi_request(app, method, path, payload=None, raw_body=None):
+    """Drive the ASGI app directly; returns ``(status, decoded_json)``."""
+
+    async def run():
+        if raw_body is not None:
+            body = raw_body
+        elif payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        else:
+            body = b""
+        inbox = [
+            {"type": "http.request", "body": body, "more_body": False},
+            {"type": "http.disconnect"},
+        ]
+        outbox = []
+
+        async def receive():
+            return inbox.pop(0)
+
+        async def send(message):
+            outbox.append(message)
+
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method,
+            "path": path,
+            "raw_path": path.encode("utf-8"),
+            "query_string": b"",
+            "headers": [(b"content-type", b"application/json")],
+            "server": ("testserver", 80),
+            "client": ("testclient", 1),
+        }
+        await app(scope, receive, send)
+        status = outbox[0]["status"]
+        raw = b"".join(
+            m.get("body", b"") for m in outbox if m["type"] == "http.response.body"
+        )
+        return status, json.loads(raw.decode("utf-8")) if raw else None
+
+    return asyncio.run(run())
+
+
+# --------------------------------------------------------------------- #
+# Wire parity: HTTP POST /search == in-process execute, all backends
+# --------------------------------------------------------------------- #
+class TestSearchParity:
+    @pytest.mark.parametrize("backend", ["plain", "sharded", "snapshot"])
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.kind)
+    def test_http_envelope_is_byte_identical(
+        self, planted_db, pattern_query, config, tmp_path, backend, spec
+    ):
+        # Two independent, identically-built services: a shared one would
+        # leak warm distance caches into the second run's work counters.
+        served = make_service(planted_db, config, backend, tmp_path)
+        reference = make_service(planted_db, config, backend, tmp_path)
+
+        app = SearchApp(served)
+        status, envelope = asgi_request(
+            app,
+            "POST",
+            "/search",
+            search_body(spec, pattern_query, include_timings=False),
+        )
+        assert status == 200
+
+        result = reference.execute_many([spec.bind(pattern_query)])[0]
+        expected = result_envelope(result, reference, include_timings=False)
+        # ``repro search --json --no-timings`` prints exactly ``expected``
+        # (the CLI delegates to the same result_envelope; see test_cli.py),
+        # so this also proves CLI <-> HTTP byte parity.
+        assert canonical_json(envelope) == canonical_json(expected)
+
+    def test_request_id_and_origin_are_echoed(self, planted_db, pattern_query, config):
+        app = SearchApp(make_service(planted_db, config, "plain"))
+        status, envelope = asgi_request(
+            app,
+            "POST",
+            "/search",
+            search_body(
+                TOPK,
+                pattern_query,
+                request_id="req-9",
+                query_origin={"source_id": "with-pattern-1", "offset": 8},
+            ),
+        )
+        assert status == 200
+        assert envelope["request_id"] == "req-9"
+        assert envelope["query_origin"] == {"source_id": "with-pattern-1", "offset": 8}
+
+    def test_executor_override_over_the_wire(self, planted_db, pattern_query, config):
+        app = SearchApp(make_service(planted_db, config, "plain"))
+        status, envelope = asgi_request(
+            app,
+            "POST",
+            "/search",
+            search_body(TOPK, pattern_query, executor="thread", workers=2),
+        )
+        assert status == 200
+        assert envelope["stats"]["executor"] == "thread"
+        assert envelope["stats"]["workers"] == 2
+        # The override never leaks into the served backend's configuration.
+        assert app.service.backend.config.executor == config.executor
+
+    def test_batch_matches_sequential_singles(self, planted_db, pattern_query, config):
+        served = SearchApp(make_service(planted_db, config, "plain"))
+        reference = make_service(planted_db, config, "plain")
+
+        specs = [TOPK, RangeQuery(radius=0.5)]
+        status, payload = asgi_request(
+            served,
+            "POST",
+            "/search/batch",
+            {
+                "requests": [
+                    search_body(spec, pattern_query, include_timings=False)
+                    for spec in specs
+                ]
+            },
+        )
+        assert status == 200
+        assert len(payload["results"]) == 2
+
+        # The reference executes the same specs in the same order on one
+        # service, so cache warm-up history matches the batch's.
+        for spec, envelope in zip(specs, payload["results"]):
+            result = reference.execute_many([spec.bind(pattern_query)])[0]
+            expected = result_envelope(result, reference, include_timings=False)
+            assert canonical_json(envelope) == canonical_json(expected)
+
+
+# --------------------------------------------------------------------- #
+# Operational endpoints
+# --------------------------------------------------------------------- #
+class TestHealthAndMetrics:
+    def test_health_on_live_backend(self, planted_db, config):
+        app = SearchApp(make_service(planted_db, config, "plain"), max_in_flight=9)
+        status, payload = asgi_request(app, "GET", "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["schema_version"] == 2
+        assert 1 in payload["accepted_schema_versions"]
+        assert payload["loaded"] is True
+        assert payload["snapshot"] is None
+        assert payload["in_flight"] == 0
+        assert payload["max_in_flight"] == 9
+
+    def test_health_never_forces_the_snapshot_load(
+        self, planted_db, pattern_query, config, tmp_path
+    ):
+        service = make_service(planted_db, config, "snapshot", tmp_path)
+        app = SearchApp(service)
+        status, payload = asgi_request(app, "GET", "/health")
+        assert status == 200
+        assert payload["loaded"] is False
+        assert payload["snapshot"].endswith("matcher.npz")
+        assert service._backend is None  # still nothing read from disk
+        asgi_request(app, "POST", "/search", search_body(TOPK, pattern_query))
+        assert asgi_request(app, "GET", "/health")[1]["loaded"] is True
+
+    def test_metrics_counters_and_latency(self, planted_db, pattern_query, config):
+        app = SearchApp(make_service(planted_db, config, "plain"))
+        for _ in range(2):
+            status, _ = asgi_request(
+                app, "POST", "/search", search_body(TOPK, pattern_query)
+            )
+            assert status == 200
+        asgi_request(app, "POST", "/search", raw_body=b"not json")
+
+        status, payload = asgi_request(app, "GET", "/metrics")
+        assert status == 200
+        assert payload["queries_served"] == 2
+        assert payload["parse_errors"] == 1
+        assert payload["query_errors"] == 0
+        assert payload["in_flight"] == 0
+        latency = payload["latency"]
+        assert latency["window"] == 2
+        assert latency["p50_seconds"] > 0
+        assert latency["p99_seconds"] >= latency["p50_seconds"]
+        cache = payload["cache"]
+        # The second identical query hits the warm distance cache.
+        assert cache["index_cache_hits"] > 0
+        assert 0.0 < cache["index_hit_rate"] <= 1.0
+
+    def test_metrics_object_is_shareable(self, planted_db, config):
+        metrics = ServerMetrics()
+        app = SearchApp(make_service(planted_db, config, "plain"), metrics=metrics)
+        assert app.metrics is metrics
+        assert metrics.snapshot()["queries_served"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Mutations over HTTP
+# --------------------------------------------------------------------- #
+class TestMutationEndpoints:
+    def grown_sequence(self):
+        generator = np.random.default_rng(99)
+        return Sequence.from_values(generator.uniform(0, 1, 30), seq_id="grown")
+
+    def test_add_then_remove_round_trips_fingerprint(
+        self, planted_db, pattern_query, config
+    ):
+        app = SearchApp(make_service(planted_db, config, "plain"))
+        before = app.service.fingerprint()
+
+        status, payload = asgi_request(
+            app,
+            "POST",
+            "/sequences",
+            {"sequence": sequence_to_wire(self.grown_sequence())},
+        )
+        assert status == 200
+        assert payload["seq_id"] == "grown"
+        assert payload["sequences"] == 4
+        assert payload["fingerprint"] != before
+
+        # The grown corpus still answers queries over HTTP.
+        status, envelope = asgi_request(
+            app, "POST", "/search", search_body(TOPK, pattern_query)
+        )
+        assert status == 200 and len(envelope["matches"]) == 3
+
+        status, payload = asgi_request(app, "DELETE", "/sequences/grown")
+        assert status == 200
+        assert payload["removed_length"] == 30
+        assert payload["sequences"] == 3
+        assert payload["fingerprint"] == before
+
+    def test_duplicate_add_is_409(self, planted_db, config):
+        app = SearchApp(make_service(planted_db, config, "plain"))
+        body = {"sequence": sequence_to_wire(self.grown_sequence())}
+        assert asgi_request(app, "POST", "/sequences", body)[0] == 200
+        status, payload = asgi_request(app, "POST", "/sequences", body)
+        assert status == 409
+        assert "grown" in payload["error"]
+
+    def test_remove_unknown_is_404(self, planted_db, config):
+        app = SearchApp(make_service(planted_db, config, "plain"))
+        status, payload = asgi_request(app, "DELETE", "/sequences/absent")
+        assert status == 404
+        assert "error" in payload
+
+    def test_snapshot_endpoint_persists_mutations(
+        self, planted_db, pattern_query, config, tmp_path
+    ):
+        service = make_service(planted_db, config, "snapshot", tmp_path)
+        app = SearchApp(service)
+        asgi_request(
+            app,
+            "POST",
+            "/sequences",
+            {"sequence": sequence_to_wire(self.grown_sequence())},
+        )
+        status, payload = asgi_request(app, "POST", "/snapshots", {})
+        assert status == 200
+        assert payload["path"].endswith("matcher.npz")
+
+        reloaded = SearchService(tmp_path / "matcher.npz")
+        assert reloaded.fingerprint() == service.fingerprint()
+        assert len(reloaded.backend.database) == 4
+
+    def test_snapshot_endpoint_explicit_path(self, planted_db, config, tmp_path):
+        app = SearchApp(make_service(planted_db, config, "plain"))
+        target = tmp_path / "explicit.npz"
+        status, payload = asgi_request(
+            app, "POST", "/snapshots", {"path": str(target)}
+        )
+        assert status == 200
+        assert payload["path"] == str(target)
+        assert target.exists()
+
+    def test_snapshot_endpoint_without_path_is_400(self, planted_db, config):
+        app = SearchApp(make_service(planted_db, config, "plain"))
+        status, payload = asgi_request(app, "POST", "/snapshots", {})
+        assert status == 400
+        assert "error" in payload
+
+
+# --------------------------------------------------------------------- #
+# Error paths
+# --------------------------------------------------------------------- #
+class TestErrorPaths:
+    @pytest.fixture
+    def app(self, planted_db, config):
+        return SearchApp(make_service(planted_db, config, "plain"))
+
+    def test_malformed_json_is_400_envelope(self, app):
+        status, envelope = asgi_request(app, "POST", "/search", raw_body=b"{nope")
+        assert status == 400
+        assert "not valid JSON" in envelope["error"]
+        assert envelope["schema_version"] == 2
+        assert envelope["matches"] == []
+
+    def test_empty_body_is_400(self, app):
+        status, envelope = asgi_request(app, "POST", "/search")
+        assert status == 400
+        assert "empty" in envelope["error"]
+
+    def test_unknown_request_field_is_400_with_request_id(self, app, pattern_query):
+        status, envelope = asgi_request(
+            app,
+            "POST",
+            "/search",
+            search_body(TOPK, pattern_query, request_id="bad-1", priority="high"),
+        )
+        assert status == 400
+        assert "unknown request field" in envelope["error"]
+        assert envelope["request_id"] == "bad-1"
+
+    def test_invalid_spec_is_400(self, app, pattern_query):
+        body = search_body(TopKQuery(k=1, max_radius=1.0), pattern_query)
+        body["query"] = {"type": "topk", "k": 0, "max_radius": 1.0}
+        status, envelope = asgi_request(app, "POST", "/search", body)
+        assert status == 400
+        assert "k must be >= 1" in envelope["error"]
+
+    def test_failed_query_is_422_with_its_own_stats(self, app):
+        alien = Sequence.from_values(np.full(20, 500.0), seq_id="alien")
+        status, envelope = asgi_request(
+            app,
+            "POST",
+            "/search",
+            search_body(TopKQuery(k=1, max_radius=0.01), alien),
+        )
+        assert status == 422
+        assert envelope["error"] is not None
+        assert envelope["matches"] == []
+        assert envelope["stats"]["passes"] > 0  # the failed sweep's own work
+        assert app.metrics.snapshot()["query_errors"] == 1
+
+    def test_unknown_route_is_404(self, app):
+        status, payload = asgi_request(app, "GET", "/nope")
+        assert status == 404
+        assert "unknown route" in payload["error"]
+
+    def test_wrong_method_is_405(self, app):
+        status, payload = asgi_request(app, "GET", "/search")
+        assert status == 405
+        assert "use POST" in payload["error"]
+        assert asgi_request(app, "POST", "/health")[0] == 405
+
+    def test_capacity_rejection_is_503(self, app, pattern_query):
+        app._in_flight = app.max_in_flight  # saturate admission
+        try:
+            status, envelope = asgi_request(
+                app, "POST", "/search", search_body(TOPK, pattern_query)
+            )
+        finally:
+            app._in_flight = 0
+        assert status == 503
+        assert "capacity" in envelope["error"]
+        assert app.metrics.snapshot()["rejected"] == 1
+
+    def test_timeout_is_504(self, app, pattern_query, monkeypatch):
+        import time as time_module
+
+        real_execute_many = app.service.execute_many
+
+        def slow_execute_many(*args, **kwargs):
+            time_module.sleep(0.4)
+            return real_execute_many(*args, **kwargs)
+
+        monkeypatch.setattr(app.service, "execute_many", slow_execute_many)
+        status, envelope = asgi_request(
+            app,
+            "POST",
+            "/search",
+            search_body(TOPK, pattern_query, timeout=0.05, request_id="late"),
+        )
+        assert status == 504
+        assert "deadline" in envelope["error"]
+        assert envelope["request_id"] == "late"
+        assert app.metrics.snapshot()["timeouts"] == 1
+
+    def test_batch_entry_errors_name_the_position(self, app, pattern_query):
+        status, payload = asgi_request(
+            app,
+            "POST",
+            "/search/batch",
+            {
+                "requests": [
+                    search_body(TOPK, pattern_query),
+                    {"query": {"type": "fuzzy"}},
+                ]
+            },
+        )
+        assert status == 400
+        assert "batch entry 1" in payload["error"]
+
+    def test_batch_empty_and_oversized_are_400(self, app, pattern_query):
+        assert asgi_request(app, "POST", "/search/batch", {"requests": []})[0] == 400
+        small = SearchApp(app.service, max_batch=1)
+        entry = search_body(TOPK, pattern_query)
+        status, payload = asgi_request(
+            small, "POST", "/search/batch", {"requests": [entry, entry]}
+        )
+        assert status == 400
+        assert "cap" in payload["error"]
+
+    def test_add_sequence_malformed_body_is_400(self, app):
+        assert asgi_request(app, "POST", "/sequences", {"nope": 1})[0] == 400
+        status, payload = asgi_request(
+            app, "POST", "/sequences", {"sequence": {"kind": "video", "values": [1]}}
+        )
+        assert status == 400
+        assert "unknown sequence kind" in payload["error"]
+
+
+# --------------------------------------------------------------------- #
+# The real socket: stdlib server + concurrency guarantee
+# --------------------------------------------------------------------- #
+class TestLiveServer:
+    def test_round_trip_over_a_real_socket(self, planted_db, pattern_query, config):
+        service = make_service(planted_db, config, "plain")
+        with BackgroundServer(SearchApp(service)) as server:
+            status, payload = server.request_json("GET", "/health")
+            assert status == 200 and payload["status"] == "ok"
+
+            status, envelope = server.request_json(
+                "POST", "/search", search_body(TOPK, pattern_query)
+            )
+            assert status == 200
+            assert len(envelope["matches"]) == 3
+
+            status, payload = server.request_json("GET", "/nope")
+            assert status == 404
+
+    def test_sustains_eight_concurrent_queries_identical_to_serial(
+        self, planted_db, pattern_query, config
+    ):
+        clients = 10
+        body = search_body(TOPK, pattern_query, include_timings=False)
+
+        # Serial reference: same requests, one at a time, fresh service.
+        serial_service = make_service(planted_db, config, "plain")
+        with BackgroundServer(SearchApp(serial_service)) as server:
+            serial = [
+                server.request_json("POST", "/search", body) for _ in range(clients)
+            ]
+        assert all(status == 200 for status, _ in serial)
+
+        concurrent_service = make_service(planted_db, config, "plain")
+        app = SearchApp(concurrent_service, max_in_flight=16)
+        responses = [None] * clients
+        barrier = threading.Barrier(clients)
+
+        def fire(position, server):
+            barrier.wait()
+            responses[position] = server.request_json("POST", "/search", body)
+
+        with BackgroundServer(app) as server:
+            # Hold the service lock so every admitted query queues behind
+            # it: the in-flight gauge must reach all 10 clients at once.
+            with concurrent_service._lock:
+                threads = [
+                    threading.Thread(target=fire, args=(position, server))
+                    for position in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                deadline = 10.0
+                import time as time_module
+
+                started = time_module.perf_counter()
+                peak = 0
+                while time_module.perf_counter() - started < deadline:
+                    peak = max(peak, server.request_json("GET", "/health")[1]["in_flight"])
+                    if peak >= clients:
+                        break
+                assert peak >= 8, f"never saw 8 queries in flight (peak {peak})"
+            for thread in threads:
+                thread.join(timeout=30)
+        assert all(response is not None for response in responses)
+        assert all(status == 200 for status, _ in responses)
+
+        # Byte-identical to the serial run.  All requests are the same, so
+        # compare as multisets: the first query on each server computes
+        # distances cold, the rest replay the warm cache identically.
+        serial_bytes = sorted(canonical_json(envelope) for _, envelope in serial)
+        concurrent_bytes = sorted(
+            canonical_json(envelope) for _, envelope in responses
+        )
+        assert concurrent_bytes == serial_bytes
+
+
+# --------------------------------------------------------------------- #
+# Optional smoke against an externally launched `repro serve`
+# --------------------------------------------------------------------- #
+@pytest.mark.skipif(
+    "REPRO_SERVER_URL" not in os.environ,
+    reason="set REPRO_SERVER_URL to smoke-test a live `repro serve` process",
+)
+class TestExternalServer:
+    """CI starts `repro serve` and points REPRO_SERVER_URL at it."""
+
+    def request(self, method, path, payload=None):
+        import http.client
+        import urllib.parse
+
+        parsed = urllib.parse.urlparse(os.environ["REPRO_SERVER_URL"])
+        connection = http.client.HTTPConnection(
+            parsed.hostname, parsed.port or 80, timeout=30
+        )
+        try:
+            body = None if payload is None else json.dumps(payload).encode("utf-8")
+            connection.request(
+                method, path, body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            return response.status, json.loads(raw.decode("utf-8")) if raw else None
+        finally:
+            connection.close()
+
+    def test_health(self):
+        status, payload = self.request("GET", "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["schema_version"] == 2
+
+    def test_search_round_trip(self):
+        generator = np.random.default_rng(5)
+        query = Sequence.from_values(
+            np.cumsum(generator.normal(size=30)), seq_id="smoke"
+        )
+        status, envelope = self.request(
+            "POST",
+            "/search",
+            search_body(TopKQuery(k=1, max_radius=50.0), query, request_id="smoke-1"),
+        )
+        # The external corpus is arbitrary: a clean answer or a clean
+        # query-failure envelope are both healthy outcomes.
+        assert status in (200, 422)
+        assert envelope["schema_version"] == 2
+        assert envelope["request_id"] == "smoke-1"
+        assert envelope["config"]["fingerprint"]
+
+    def test_parse_error_envelope(self):
+        status, envelope = self.request("POST", "/search", {"query": {"type": "fuzzy"}})
+        assert status == 400
+        assert "error" in envelope and envelope["error"]
+
+    def test_metrics(self):
+        status, payload = self.request("GET", "/metrics")
+        assert status == 200
+        assert payload["queries_served"] >= 1

@@ -170,6 +170,69 @@ class TestExecutorOverrides:
         assert sharded.config.executor == config.executor
 
 
+class TestMutations:
+    """add_sequence/remove_sequence/save_snapshot through the facade."""
+
+    def fresh_sequence(self):
+        generator = np.random.default_rng(99)
+        return Sequence.from_values(generator.uniform(0, 1, 30), seq_id="grown")
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_add_and_remove_change_fingerprint(
+        self, planted_db, pattern_query, config, shards
+    ):
+        if shards > 1:
+            backend = ShardedMatcher(planted_db, DiscreteFrechet(), config, shards=shards)
+        else:
+            backend = SubsequenceMatcher(planted_db, DiscreteFrechet(), config)
+        service = SearchService(backend)
+        before = service.fingerprint()
+        seq_id = service.add_sequence(self.fresh_sequence())
+        assert seq_id == "grown"
+        after_add = service.fingerprint()
+        assert after_add != before
+        # The grown corpus still answers queries.
+        assert len(service.execute(TOPK.bind(pattern_query)).matches) == 3
+        removed = service.remove_sequence("grown")
+        assert len(removed) == 30
+        assert service.fingerprint() == before
+
+    def test_save_snapshot_defaults_to_origin_path(
+        self, planted_db, pattern_query, config, tmp_path
+    ):
+        path = tmp_path / "matcher.npz"
+        save_matcher(SubsequenceMatcher(planted_db, DiscreteFrechet(), config), path)
+        service = SearchService(path)
+        service.add_sequence(self.fresh_sequence())
+        expected = service.execute(TOPK.bind(pattern_query))
+        assert service.save_snapshot() == path
+
+        reloaded = SearchService(path)
+        assert reloaded.fingerprint() == service.fingerprint()
+        result = reloaded.execute(TOPK.bind(pattern_query))
+        assert match_identities(result.matches) == match_identities(expected.matches)
+
+    def test_save_snapshot_explicit_path(self, planted_db, config, tmp_path):
+        service = SearchService(SubsequenceMatcher(planted_db, DiscreteFrechet(), config))
+        target = tmp_path / "explicit.npz"
+        assert service.save_snapshot(target) == target
+        assert target.exists()
+
+    def test_save_snapshot_without_path_errors(self, planted_db, config):
+        service = SearchService(SubsequenceMatcher(planted_db, DiscreteFrechet(), config))
+        with pytest.raises(StorageError):
+            service.save_snapshot()
+
+    def test_loaded_property_does_not_trigger_load(self, planted_db, config, tmp_path):
+        path = tmp_path / "matcher.npz"
+        save_matcher(SubsequenceMatcher(planted_db, DiscreteFrechet(), config), path)
+        service = SearchService(path)
+        assert service.loaded is False
+        assert service._backend is None  # observing loaded didn't read the file
+        service.backend
+        assert service.loaded is True
+
+
 class TestFingerprint:
     def test_stable_for_equal_configuration(self, planted_db, config):
         first = SubsequenceMatcher(planted_db, DiscreteFrechet(), config)
