@@ -51,13 +51,42 @@ def latest_baseline(directory: str) -> Optional[str]:
     return None if best is None else str(best)
 
 
+class BaselineError(Exception):
+    """A benchmark JSON that cannot back a comparison (empty, corrupt, ...)."""
+
+
 def load_medians(path: str) -> Dict[str, float]:
-    """Map benchmark name -> median seconds from a pytest-benchmark JSON."""
-    with open(path) as handle:
-        payload = json.load(handle)
-    return {
-        bench["name"]: float(bench["stats"]["median"]) for bench in payload["benchmarks"]
-    }
+    """Map benchmark name -> median seconds from a pytest-benchmark JSON.
+
+    Raises :class:`BaselineError` instead of tracebacking (or silently
+    comparing against nothing) when the file is empty, unparseable, or not
+    a pytest-benchmark payload.  An empty baseline once slipped through an
+    interrupted recording run and made the gate vacuously green; a broken
+    bar must be a loud failure, never a pass.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise BaselineError(f"cannot read {path!r}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"{path!r} is not valid JSON: {error}") from None
+    if not isinstance(payload, dict) or "benchmarks" not in payload:
+        raise BaselineError(
+            f"{path!r} is not a pytest-benchmark JSON (no 'benchmarks' key)"
+        )
+    try:
+        medians = {
+            bench["name"]: float(bench["stats"]["median"])
+            for bench in payload["benchmarks"]
+        }
+    except (TypeError, KeyError, ValueError) as error:
+        raise BaselineError(
+            f"{path!r} has a malformed benchmark entry: {error!r}"
+        ) from None
+    if not medians:
+        raise BaselineError(f"{path!r} contains zero benchmarks")
+    return medians
 
 
 def main(argv=None) -> int:
@@ -107,8 +136,12 @@ def main(argv=None) -> int:
             return 2
         print(f"auto-selected baseline: {baseline_path}")
 
-    baseline = load_medians(baseline_path)
-    current = load_medians(args.current)
+    try:
+        baseline = load_medians(baseline_path)
+        current = load_medians(args.current)
+    except BaselineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     missing_required = [
         pattern

@@ -398,6 +398,13 @@ class QueryStats:
     executor / workers:
         The execution engine that answered the query and its worker count
         (see :mod:`repro.core.executor`).
+    kernel_backend:
+        The distance-kernel tier that served the query's DP sweeps --
+        ``"numpy"`` for the vectorized row sweeps, or a compiled provider
+        name (``"numba"``/``"cc"``/``"pyloop"``); see
+        :mod:`repro.distances.backend`.  Every tier returns identical
+        values, so this label never explains a result difference -- only a
+        speed difference.
     shards:
         Number of matcher shards that contributed to these statistics (1
         for a plain matcher; see
@@ -424,6 +431,7 @@ class QueryStats:
     cpu_stage_timings: Dict[str, float] = field(default_factory=dict)
     executor: str = "serial"
     workers: int = 1
+    kernel_backend: str = "numpy"
     shards: int = 1
     passes: List["QueryStats"] = field(default_factory=list)
 
@@ -483,6 +491,7 @@ class QueryStats:
             prefilter_pruned=sum(p.prefilter_pruned for p in passes),
             executor=final.executor,
             workers=final.workers,
+            kernel_backend=final.kernel_backend,
             shards=final.shards,
         )
         for stats in passes:
@@ -528,6 +537,7 @@ class QueryStats:
             prefilter_pruned=sum(s.prefilter_pruned for s in shard_stats),
             executor=first.executor,
             workers=first.workers,
+            kernel_backend=first.kernel_backend,
             shards=len(shard_stats),
         )
         for stats in shard_stats:

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, fields
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -274,6 +274,7 @@ def stats_to_wire(stats: QueryStats, include_timings: bool = True) -> Dict[str, 
         "passes": len(stats.passes),
         "executor": stats.executor,
         "workers": stats.workers,
+        "kernel_backend": stats.kernel_backend,
         "shards": stats.shards,
         "stage_seconds": dict(stats.stage_timings) if include_timings else {},
         "cpu_stage_seconds": dict(stats.cpu_stage_timings) if include_timings else {},

@@ -38,7 +38,7 @@ consistency proof reasons about.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -48,6 +48,27 @@ from repro.exceptions import DistanceError
 Coupling = Tuple[int, int]
 
 _INF = float("inf")
+
+#: A batch abandon threshold: ``None``, one scalar for the whole batch, or a
+#: per-row ``(k,)`` vector (the top-k scan tightens rows as its heap fills).
+BatchCutoff = Union[None, float, np.ndarray]
+
+
+def _normalise_batch_cutoff(cutoff: BatchCutoff, k: int):
+    """Validate a batch cutoff; scalars stay scalar, vectors become float64.
+
+    Returning scalars unchanged keeps the scalar code path (and its exact
+    comparison semantics) byte-for-byte what it was before per-row
+    thresholds existed.
+    """
+    if cutoff is None or np.ndim(cutoff) == 0:
+        return cutoff
+    vector = np.asarray(cutoff, dtype=np.float64)
+    if vector.shape != (k,):
+        raise DistanceError(
+            f"per-row cutoff vector has shape {vector.shape}, expected ({k},)"
+        )
+    return vector
 
 
 @dataclass(frozen=True)
@@ -348,30 +369,32 @@ def batch_warping_distance(
     cost: np.ndarray,
     aggregate: str = "sum",
     band: Optional[int] = None,
-    cutoff: Optional[float] = None,
+    cutoff: BatchCutoff = None,
 ) -> np.ndarray:
     """:func:`warping_distance` for a batch of same-shape pairs.
 
     ``cost`` has shape ``(k, n, m)``: one element cost matrix per pair, all
     sharing the same table dimensions (the caller groups operands by shape).
     The row sweep runs over ``(k, m)`` matrices, so one pass of NumPy
-    primitives advances every pair in the batch at once.  With a ``cutoff``,
-    pairs whose table front exceeds it are marked abandoned (their result is
-    ``inf``); the sweep stops early only when *every* pair has abandoned,
-    matching the per-pair semantics of :func:`warping_distance` -- a returned
-    value is exact whenever it is at most ``cutoff``.
+    primitives advances every pair in the batch at once.  With a ``cutoff``
+    (one scalar, or a per-row ``(k,)`` vector), pairs whose table front
+    exceeds their threshold are marked abandoned (their result is ``inf``);
+    the sweep stops early only when *every* pair has abandoned, matching the
+    per-pair semantics of :func:`warping_distance` -- a returned value is
+    exact whenever it is at most the pair's cutoff.
     """
     _validate_cost_tensor(cost)
     if aggregate not in ("sum", "max"):
         raise DistanceError(f"aggregate must be 'sum' or 'max', got {aggregate!r}")
     cost = np.asarray(cost, dtype=np.float64)
+    cutoff = _normalise_batch_cutoff(cutoff, cost.shape[0])
     if aggregate == "sum":
         return _batch_warp_sum(cost, band, cutoff)
     return _batch_warp_max(cost, band, cutoff)
 
 
 def _batch_warp_sum(
-    cost: np.ndarray, band: Optional[int], cutoff: Optional[float]
+    cost: np.ndarray, band: Optional[int], cutoff: BatchCutoff
 ) -> np.ndarray:
     """Batched :func:`_warp_sum_value`: identical recurrence, extra batch axis."""
     k, n, m = cost.shape
@@ -413,7 +436,7 @@ def _batch_warp_sum(
 
 
 def _batch_warp_max(
-    cost: np.ndarray, band: Optional[int], cutoff: Optional[float]
+    cost: np.ndarray, band: Optional[int], cutoff: BatchCutoff
 ) -> np.ndarray:
     """Batched bottleneck recurrence via the :func:`_max_row` doubling scan.
 
@@ -643,7 +666,7 @@ def batch_edit_distance_value(
     substitution: np.ndarray,
     deletion: np.ndarray,
     insertion: np.ndarray,
-    cutoff: Optional[float] = None,
+    cutoff: BatchCutoff = None,
 ) -> np.ndarray:
     """:func:`edit_distance_value` for a batch of same-shape pairs.
 
@@ -651,12 +674,14 @@ def batch_edit_distance_value(
     gap-cost vector of the (shared) first operand and ``insertion`` the
     ``(k, m)`` gap costs of the second operands.  The reduced-coordinate
     recurrence of :func:`edit_distance_value` runs unchanged over an extra
-    batch axis; abandoned pairs (row minimum beyond ``cutoff``) yield ``inf``
-    and the sweep stops early once every pair has abandoned.
+    batch axis; abandoned pairs (row minimum beyond their cutoff -- one
+    scalar or a per-row ``(k,)`` vector) yield ``inf`` and the sweep stops
+    early once every pair has abandoned.
     """
     _validate_cost_tensor(substitution)
     substitution = np.asarray(substitution, dtype=np.float64)
     k, n, m = substitution.shape
+    cutoff = _normalise_batch_cutoff(cutoff, k)
     deletion = np.asarray(deletion, dtype=np.float64)
     insertion = np.asarray(insertion, dtype=np.float64)
     if deletion.shape != (n,) or insertion.shape != (k, m):

@@ -154,6 +154,43 @@ class ElementMetric:
         return (np.any(diff != 0.0, axis=1)).astype(np.float64)
 
 
+def validate_group_shape(distance: "Distance", query: np.ndarray, shape: tuple) -> None:
+    """The per-item checks of :func:`group_batch_operands` for a packed group.
+
+    Callers holding a :class:`~repro.sequences.packed.PackedWindowStore`
+    already know every member of a shape group is a valid ``(length, dim)``
+    array, so only the query-relative checks remain; the error messages
+    match the un-packed path exactly.
+    """
+    if shape[1] != query.shape[1]:
+        raise IncompatibleSequencesError(
+            f"element dimensionalities differ: {query.shape[1]} vs {shape[1]}"
+        )
+    if not distance.supports_unequal_lengths and shape[0] != query.shape[0]:
+        raise IncompatibleSequencesError(
+            f"{distance.name} requires equal-length sequences, "
+            f"got {query.shape[0]} and {shape[0]}"
+        )
+
+
+def group_cutoff(cutoff, indexes) -> "Union[None, float, np.ndarray]":
+    """Slice a batch cutoff (``None``/scalar/vector) down to one shape group."""
+    if cutoff is None:
+        return None
+    if np.ndim(cutoff) == 0:
+        return float(cutoff)
+    return np.asarray(cutoff, dtype=np.float64)[np.asarray(indexes, dtype=np.intp)]
+
+
+def item_cutoff(cutoff, index: int) -> Optional[float]:
+    """The scalar threshold one batch position runs under."""
+    if cutoff is None:
+        return None
+    if np.ndim(cutoff) == 0:
+        return float(cutoff)
+    return float(cutoff[index])
+
+
 def group_batch_operands(
     distance: "Distance",
     query: np.ndarray,
@@ -257,42 +294,44 @@ class Distance(abc.ABC):
         self,
         query: SequenceLike,
         items: "List[SequenceLike]",
-        cutoff: Optional[float] = None,
+        cutoff=None,
     ) -> np.ndarray:
         """Distances from ``query`` to every item, as one kernel per shape group.
 
         Items are grouped by ``(length, dim)`` and each group is stacked into
         one ``(k, m, dim)`` tensor handed to :meth:`compute_batch`, so the
         vectorized kernels sweep the whole group's DP tables at once instead
-        of paying one kernel launch per pair.  With a ``cutoff`` the same
+        of paying one kernel launch per pair.  With a ``cutoff`` -- one
+        scalar, or a per-item vector of length ``len(items)`` -- the same
         early-abandon contract as :meth:`bounded` applies per item: a
-        returned value is exact whenever it is at most ``cutoff``, and any
-        value beyond the cutoff (typically ``inf``) means "provably outside".
+        returned value is exact whenever it is at most that item's cutoff,
+        and any value beyond the cutoff (typically ``inf``) means "provably
+        outside".
         """
         q = as_array(query)
         arrays, groups = group_batch_operands(self, q, items)
         out = np.empty(len(items), dtype=np.float64)
         for indexes in groups.values():
             tensor = np.stack([arrays[i] for i in indexes])
-            out[indexes] = self.compute_batch(
-                q, tensor, None if cutoff is None else float(cutoff)
-            )
+            out[indexes] = self.compute_batch(q, tensor, group_cutoff(cutoff, indexes))
         return out
 
     def compute_batch(
-        self, query: np.ndarray, items: np.ndarray, cutoff: Optional[float]
+        self, query: np.ndarray, items: np.ndarray, cutoff
     ) -> np.ndarray:
         """Distances from ``query`` (``(n, dim)``) to ``items`` (``(k, m, dim)``).
 
-        The default loops :meth:`compute` / :meth:`compute_bounded` per item;
+        ``cutoff`` is ``None``, one scalar, or a per-item vector.  The
+        default loops :meth:`compute` / :meth:`compute_bounded` per item;
         the elastic measures override it with genuinely batched kernels.
         """
         values = np.empty(items.shape[0], dtype=np.float64)
         for index in range(items.shape[0]):
-            if cutoff is None:
+            threshold = item_cutoff(cutoff, index)
+            if threshold is None:
                 values[index] = self.compute(query, items[index])
             else:
-                values[index] = self.compute_bounded(query, items[index], cutoff)
+                values[index] = self.compute_bounded(query, items[index], threshold)
         return values
 
     # ------------------------------------------------------------------ #

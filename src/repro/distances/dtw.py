@@ -22,7 +22,9 @@ from repro.distances.alignment import (
     warping_table,
     warping_traceback,
 )
+from repro.distances.backend import fused_provider
 from repro.distances.base import Distance, ElementMetric, as_array, check_same_dim
+from repro.distances.compiled import METRIC_KIND_CODES
 from repro.exceptions import DistanceError
 
 
@@ -55,8 +57,13 @@ class DTW(Distance):
         self.band = band
 
     def compute(self, first: np.ndarray, second: np.ndarray) -> float:
-        cost = self.element_metric.matrix(first, second)
-        value = warping_distance(cost, aggregate="sum", band=self.band)
+        kernels = fused_provider(first.shape[1])
+        if kernels is not None:
+            kind = METRIC_KIND_CODES[self.element_metric.kind]
+            value = kernels.warp_value(first, second, kind, False, self.band, None)
+        else:
+            cost = self.element_metric.matrix(first, second)
+            value = warping_distance(cost, aggregate="sum", band=self.band)
         if np.isinf(value):
             raise DistanceError(
                 "no warping path fits within the Sakoe-Chiba band; "
@@ -71,13 +78,22 @@ class DTW(Distance):
         ``inf`` here (instead of the error :meth:`compute` raises), because
         the abandoned computation cannot tell the two apart.
         """
+        kernels = fused_provider(first.shape[1])
+        if kernels is not None:
+            kind = METRIC_KIND_CODES[self.element_metric.kind]
+            return kernels.warp_value(first, second, kind, False, self.band, cutoff)
         cost = self.element_metric.matrix(first, second)
         return warping_distance(cost, aggregate="sum", band=self.band, cutoff=cutoff)
 
     def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
         """Batched DTW: one cost tensor, one row sweep for the whole group."""
-        cost = self.element_metric.matrix_batch(query, items)
-        values = batch_warping_distance(cost, aggregate="sum", band=self.band, cutoff=cutoff)
+        kernels = fused_provider(query.shape[1])
+        if kernels is not None:
+            kind = METRIC_KIND_CODES[self.element_metric.kind]
+            values = kernels.warp_batch(query, items, kind, False, self.band, cutoff)
+        else:
+            cost = self.element_metric.matrix_batch(query, items)
+            values = batch_warping_distance(cost, aggregate="sum", band=self.band, cutoff=cutoff)
         if cutoff is None and self.band is not None and np.isinf(values).any():
             raise DistanceError(
                 "no warping path fits within the Sakoe-Chiba band; "

@@ -15,7 +15,9 @@ from typing import Optional
 import numpy as np
 
 from repro.distances.alignment import batch_edit_distance_value, edit_distance_value
+from repro.distances.backend import fused_provider
 from repro.distances.base import Distance, ElementMetric
+from repro.distances.compiled import METRIC_KIND_CODES, MODE_EDR, NO_GAP
 from repro.exceptions import DistanceError
 
 
@@ -49,6 +51,12 @@ class EDR(Distance):
         self, first: np.ndarray, second: np.ndarray, cutoff: Optional[float]
     ) -> float:
         """Early-abandoning EDR: all edit operations cost 0 or 1."""
+        kernels = fused_provider(first.shape[1])
+        if kernels is not None:
+            kind = METRIC_KIND_CODES[self.element_metric.kind]
+            return kernels.edit_value(
+                first, second, MODE_EDR, kind, NO_GAP, self.epsilon, cutoff
+            )
         ground = self.element_metric.matrix(first, second)
         substitution = (ground > self.epsilon).astype(np.float64)
         deletion = np.ones(first.shape[0], dtype=np.float64)
@@ -63,6 +71,12 @@ class EDR(Distance):
 
     def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
         """Batched EDR: threshold the batched ground tensor, one row sweep."""
+        kernels = fused_provider(query.shape[1])
+        if kernels is not None:
+            kind = METRIC_KIND_CODES[self.element_metric.kind]
+            return kernels.edit_batch(
+                query, items, MODE_EDR, kind, NO_GAP, self.epsilon, cutoff
+            )
         ground = self.element_metric.matrix_batch(query, items)
         substitution = (ground > self.epsilon).astype(np.float64)
         deletion = np.ones(query.shape[0], dtype=np.float64)

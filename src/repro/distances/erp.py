@@ -21,7 +21,9 @@ from repro.distances.alignment import (
     edit_table,
     edit_traceback,
 )
+from repro.distances.backend import fused_provider
 from repro.distances.base import Distance, ElementMetric, as_array, check_same_dim
+from repro.distances.compiled import METRIC_KIND_CODES, MODE_ERP
 from repro.exceptions import DistanceError
 
 
@@ -65,15 +67,15 @@ class ERP(Distance):
         )
 
     def compute(self, first: np.ndarray, second: np.ndarray) -> float:
-        gap = self._gap_vector(first.shape[1])
-        substitution = self.element_metric.matrix(first, second)
-        deletion = self.element_metric.to_origin(first, gap)
-        insertion = self.element_metric.to_origin(second, gap)
-        return edit_distance_value(substitution, deletion, insertion)
+        return self.compute_bounded(first, second, None)
 
-    def compute_bounded(self, first: np.ndarray, second: np.ndarray, cutoff: float) -> float:
+    def compute_bounded(self, first: np.ndarray, second: np.ndarray, cutoff) -> float:
         """Early-abandoning ERP: gap and match costs are all non-negative."""
         gap = self._gap_vector(first.shape[1])
+        kernels = fused_provider(first.shape[1])
+        if kernels is not None:
+            kind = METRIC_KIND_CODES[self.element_metric.kind]
+            return kernels.edit_value(first, second, MODE_ERP, kind, gap, 0.0, cutoff)
         substitution = self.element_metric.matrix(first, second)
         deletion = self.element_metric.to_origin(first, gap)
         insertion = self.element_metric.to_origin(second, gap)
@@ -82,6 +84,10 @@ class ERP(Distance):
     def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
         """Batched ERP: shared query-side gap costs, per-item insertion costs."""
         gap = self._gap_vector(query.shape[1])
+        kernels = fused_provider(query.shape[1])
+        if kernels is not None:
+            kind = METRIC_KIND_CODES[self.element_metric.kind]
+            return kernels.edit_batch(query, items, MODE_ERP, kind, gap, 0.0, cutoff)
         substitution = self.element_metric.matrix_batch(query, items)
         deletion = self.element_metric.to_origin(query, gap)
         insertion = self.element_metric.to_origin_batch(items, gap)

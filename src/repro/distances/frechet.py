@@ -21,7 +21,9 @@ from repro.distances.alignment import (
     warping_table,
     warping_traceback,
 )
+from repro.distances.backend import fused_provider
 from repro.distances.base import Distance, ElementMetric, as_array, check_same_dim
+from repro.distances.compiled import METRIC_KIND_CODES
 
 
 class DiscreteFrechet(Distance):
@@ -41,16 +43,28 @@ class DiscreteFrechet(Distance):
         self.element_metric = element_metric or ElementMetric("euclidean")
 
     def compute(self, first: np.ndarray, second: np.ndarray) -> float:
+        kernels = fused_provider(first.shape[1])
+        if kernels is not None:
+            kind = METRIC_KIND_CODES[self.element_metric.kind]
+            return kernels.warp_value(first, second, kind, True, None, None)
         cost = self.element_metric.matrix(first, second)
         return warping_distance(cost, aggregate="max")
 
     def compute_bounded(self, first: np.ndarray, second: np.ndarray, cutoff: float) -> float:
         """Early-abandoning DFD: every row's minimum lower-bounds the result."""
+        kernels = fused_provider(first.shape[1])
+        if kernels is not None:
+            kind = METRIC_KIND_CODES[self.element_metric.kind]
+            return kernels.warp_value(first, second, kind, True, None, cutoff)
         cost = self.element_metric.matrix(first, second)
         return warping_distance(cost, aggregate="max", cutoff=cutoff)
 
     def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
         """Batched DFD: the doubling-scan row sweep over the whole group."""
+        kernels = fused_provider(query.shape[1])
+        if kernels is not None:
+            kind = METRIC_KIND_CODES[self.element_metric.kind]
+            return kernels.warp_batch(query, items, kind, True, None, cutoff)
         cost = self.element_metric.matrix_batch(query, items)
         return batch_warping_distance(cost, aggregate="max", cutoff=cutoff)
 

@@ -25,7 +25,9 @@ from repro.distances.alignment import (
     edit_table,
     edit_traceback,
 )
+from repro.distances.backend import fused_provider
 from repro.distances.base import Distance
+from repro.distances.compiled import MODE_LEVENSHTEIN, NO_GAP
 from repro.exceptions import DistanceError
 
 
@@ -48,6 +50,11 @@ class Levenshtein(Distance):
         self, first: np.ndarray, second: np.ndarray, cutoff: Optional[float]
     ) -> float:
         """Early-abandoning edit distance: unit costs keep rows monotone."""
+        kernels = fused_provider(first.shape[1])
+        if kernels is not None:
+            return kernels.edit_value(
+                first, second, MODE_LEVENSHTEIN, 0, NO_GAP, 0.0, cutoff
+            )
         substitution = (np.any(first[:, None, :] != second[None, :, :], axis=2)).astype(
             np.float64
         )
@@ -57,6 +64,11 @@ class Levenshtein(Distance):
 
     def compute_batch(self, query: np.ndarray, items: np.ndarray, cutoff) -> np.ndarray:
         """Batched edit distance: one mismatch tensor, one row sweep."""
+        kernels = fused_provider(query.shape[1])
+        if kernels is not None:
+            return kernels.edit_batch(
+                query, items, MODE_LEVENSHTEIN, 0, NO_GAP, 0.0, cutoff
+            )
         substitution = (
             np.any(query[None, :, None, :] != items[:, None, :, :], axis=3)
         ).astype(np.float64)

@@ -51,7 +51,12 @@ from typing import List, Optional, Sequence as TypingSequence, Tuple
 
 import numpy as np
 
-from repro.distances.base import Distance, as_array, group_batch_operands
+from repro.distances.base import (
+    Distance,
+    as_array,
+    group_batch_operands,
+    validate_group_shape,
+)
 from repro.distances.cache import DistanceCache
 from repro.distances.lower_bounds import combined_batch_bound, combined_bound
 from repro.sequences.sequence import Sequence
@@ -189,6 +194,7 @@ class RecordingCounting:
         query,
         items: TypingSequence,
         cutoff: Optional[float] = None,
+        packed=None,
     ) -> np.ndarray:
         """Recorded analogue of :meth:`CountingDistance.batch`.
 
@@ -197,12 +203,17 @@ class RecordingCounting:
         :meth:`batch_prepare`); calling :meth:`batch` runs all three phases
         in this process, which is what thread-pool units do.
         """
-        context = self.batch_prepare(query, items, cutoff)
+        context = self.batch_prepare(query, items, cutoff, packed=packed)
         computed = compute_batch_groups(context.payload())
         return self.batch_finish(context, computed)
 
-    def batch_prepare(self, query, items, cutoff) -> "_BatchContext":
-        """Cache lookups + shape grouping; returns the pure-compute payload."""
+    def batch_prepare(self, query, items, cutoff, packed=None) -> "_BatchContext":
+        """Cache lookups + shape grouping; returns the pure-compute payload.
+
+        ``packed`` optionally serves the operand tensors from a packed
+        window layout (see :meth:`CountingDistance.batch`); the payload the
+        remote phase receives is byte-identical either way.
+        """
         values = np.empty(len(items), dtype=np.float64)
         hits = [False] * len(items)
         query_array = as_array(query)
@@ -215,10 +226,18 @@ class RecordingCounting:
                     hits[index] = True
                     continue
             pending.append(index)
-        arrays, groups = group_batch_operands(self.inner, query_array, items, pending)
         grouped: List[Tuple[List[int], np.ndarray]] = []
-        for indexes in groups.values():
-            grouped.append((indexes, np.stack([arrays[i] for i in indexes])))
+        if packed is None:
+            arrays, groups = group_batch_operands(self.inner, query_array, items, pending)
+            for indexes in groups.values():
+                grouped.append((indexes, np.stack([arrays[i] for i in indexes])))
+        else:
+            groups = {}
+            for index in pending:
+                groups.setdefault(packed.shape_of(index), []).append(index)
+            for shape, indexes in groups.items():
+                validate_group_shape(self.inner, query_array, shape)
+                grouped.append((indexes, packed.gather(indexes)))
         return _BatchContext(self, query, items, cutoff, values, hits, query_array, grouped)
 
     def batch_finish(

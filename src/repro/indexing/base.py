@@ -295,16 +295,18 @@ class MetricIndex(abc.ABC):
         self,
         query: SequenceLike,
         items: List[SequenceLike],
-        cutoff: Optional[float] = None,
+        cutoff=None,
+        packed=None,
     ) -> "np.ndarray":
         """Compute (and count) distances from ``query`` to many payloads at once.
 
         Goes through :meth:`CountingDistance.batch`: cache lookups first,
         then lower-bound prefilters (when enabled), then one batched kernel
         per same-shape group.  The usual early-abandon contract applies when
-        ``cutoff`` is given.
+        ``cutoff`` is given (a scalar or per-item vector); ``packed``
+        optionally serves the operand tensors from a packed window layout.
         """
-        return self._counting.batch(query, items, cutoff)
+        return self._counting.batch(query, items, cutoff, packed=packed)
 
     def __len__(self) -> int:
         return len(self._items)

@@ -9,7 +9,10 @@ computations for a query over ``n`` items achieves a pruning ratio of
 
 from __future__ import annotations
 
+import heapq
 from typing import Hashable, List, Optional
+
+import numpy as np
 
 from repro.distances.base import Distance, SequenceLike, as_array
 from repro.distances.cache import DistanceCache
@@ -17,6 +20,7 @@ from repro.distances.recording import compute_batch_groups
 from repro.exceptions import IndexError_
 from repro.indexing.base import MetricIndex, QueryWorkUnit, RangeMatch
 from repro.indexing.stats import DistanceCounter
+from repro.sequences.packed import PackedWindowStore, StoreGather
 
 
 class LinearScanIndex(MetricIndex):
@@ -65,6 +69,11 @@ class LinearScanIndex(MetricIndex):
         super().__init__(
             distance, counter, require_metric=False, cache=cache, prefilter=prefilter
         )
+        self._packed = PackedWindowStore()
+        #: Packing needs array-coercible items; the first item that is not
+        #: (coercion errors surface at query time, as before) switches the
+        #: whole scan back to the per-call stacking path.
+        self._packed_ok = True
 
     def add(self, item: object, key: Optional[Hashable] = None) -> Hashable:
         if key is None:
@@ -72,13 +81,39 @@ class LinearScanIndex(MetricIndex):
         if key in self._items:
             raise IndexError_(f"key {key!r} is already present")
         self._items[key] = item
+        if self._packed_ok:
+            try:
+                self._packed.add(key, item)
+            except Exception:
+                self._packed_ok = False
+                self._packed.clear()
         return key
 
     def remove(self, key: Hashable) -> object:
         try:
-            return self._items.pop(key)
+            item = self._items.pop(key)
         except KeyError:
             raise IndexError_(f"no item with key {key!r} in this index") from None
+        if self._packed_ok and key in self._packed:
+            self._packed.remove(key)
+        return item
+
+    def _restore_structure(self, state: dict) -> None:
+        self._packed = PackedWindowStore()
+        self._packed_ok = True
+        for key, item in self._items.items():
+            try:
+                self._packed.add(key, item)
+            except Exception:
+                self._packed_ok = False
+                self._packed.clear()
+                break
+
+    def _scan_gather(self, keys: List[Hashable]) -> Optional[StoreGather]:
+        """A packed gather over ``keys``, or ``None`` when packing is off."""
+        if not self._packed_ok:
+            return None
+        return StoreGather(self._packed, keys)
 
     def _range_search(
         self, query: SequenceLike, radius: float, counting
@@ -107,11 +142,12 @@ class LinearScanIndex(MetricIndex):
             raise IndexError_(f"radius must be non-negative, got {radius}")
         keys = list(self._items.keys())
         items = [self._items[key] for key in keys]
+        packed = self._scan_gather(keys)
         results: List[List[RangeMatch]] = []
         for query in queries:
             matches: List[RangeMatch] = []
             if items:
-                values = self._d_batch(query, items, cutoff=radius)
+                values = self._d_batch(query, items, cutoff=radius, packed=packed)
                 for key, item, value in zip(keys, items, values):
                     if value <= radius:
                         matches.append(RangeMatch(key, item, float(value)))
@@ -134,13 +170,18 @@ class LinearScanIndex(MetricIndex):
         items = [self._items[key] for key in keys]
         groups: dict = {}
         for scan_position, item in enumerate(items):
-            groups.setdefault(as_array(item).shape, []).append(scan_position)
+            if self._packed_ok:
+                shape = self._packed.shape_of(keys[scan_position])
+            else:
+                shape = as_array(item).shape
+            groups.setdefault(shape, []).append(scan_position)
 
         units: List[QueryWorkUnit] = []
         for position, query in enumerate(queries):
             for shape, scan_positions in groups.items():
                 group_keys = [keys[i] for i in scan_positions]
                 group_items = [items[i] for i in scan_positions]
+                group_packed = self._scan_gather(group_keys)
 
                 def matches_from(values, group_keys=group_keys, group_items=group_items,
                                  scan_positions=scan_positions):
@@ -153,12 +194,17 @@ class LinearScanIndex(MetricIndex):
                     return found
 
                 def search(counting, query=query, group_items=group_items,
-                           matches_from=matches_from):
-                    values = counting.batch(query, group_items, cutoff=radius)
+                           matches_from=matches_from, group_packed=group_packed):
+                    values = counting.batch(
+                        query, group_items, cutoff=radius, packed=group_packed
+                    )
                     return matches_from(values)
 
-                def prepare(counting, query=query, group_items=group_items):
-                    context = counting.batch_prepare(query, group_items, radius)
+                def prepare(counting, query=query, group_items=group_items,
+                            group_packed=group_packed):
+                    context = counting.batch_prepare(
+                        query, group_items, radius, packed=group_packed
+                    )
                     return context, context.payload()
 
                 def finish(counting, context, out, matches_from=matches_from):
@@ -176,3 +222,62 @@ class LinearScanIndex(MetricIndex):
                     )
                 )
         return units
+
+    def knn_scan(
+        self, query: SequenceLike, k: int, chunk_size: int = 64
+    ) -> List[RangeMatch]:
+        """The ``k`` nearest stored items by one streaming batched scan.
+
+        Unlike :meth:`knn_query` (repeated range queries with growing
+        radius), this walks the store once in scan order, chunk by chunk,
+        and hands each chunk's kernel a *per-item abandon threshold vector*
+        set to the current k-th best distance -- so the DP sweeps abandon
+        ever earlier as the heap tightens, and no radius schedule has to be
+        guessed.  Returned matches carry exact distances (a bounded kernel
+        value is exact whenever it is at most its threshold, and only values
+        strictly below the threshold enter the heap), sorted nearest first
+        with ties broken by scan order.  All kernel work is counted on the
+        index counter and flows through the shared cache, like any other
+        query.
+        """
+        if k < 1:
+            raise IndexError_(f"k must be >= 1, got {k}")
+        if chunk_size < 1:
+            raise IndexError_(f"chunk_size must be >= 1, got {chunk_size}")
+        if not self._items:
+            return []
+        self.prepare_queries()
+        keys = list(self._items.keys())
+        items = [self._items[key] for key in keys]
+        wanted = min(k, len(items))
+        # Max-heap of the k best so far: entries are (-distance, -position),
+        # so the root is the current k-th best and, among equal distances,
+        # the latest-seen item is the one evicted first.
+        heap: List[tuple] = []
+        threshold: Optional[float] = None
+        for start in range(0, len(items), chunk_size):
+            stop = min(start + chunk_size, len(items))
+            chunk_keys = keys[start:stop]
+            chunk_items = items[start:stop]
+            cutoff = (
+                None
+                if threshold is None
+                else np.full(len(chunk_items), threshold, dtype=np.float64)
+            )
+            values = self._counting.batch(
+                query, chunk_items, cutoff=cutoff, packed=self._scan_gather(chunk_keys)
+            )
+            for offset, value in enumerate(values):
+                value = float(value)
+                if len(heap) < wanted:
+                    heapq.heappush(heap, (-value, -(start + offset)))
+                    if len(heap) == wanted:
+                        threshold = -heap[0][0]
+                elif threshold is not None and value < threshold:
+                    heapq.heapreplace(heap, (-value, -(start + offset)))
+                    threshold = -heap[0][0]
+        ranked = sorted((-neg_value, -neg_pos) for neg_value, neg_pos in heap)
+        return [
+            RangeMatch(keys[position], items[position], distance)
+            for distance, position in ranked
+        ]

@@ -31,6 +31,9 @@ from repro.distances.base import (
     SequenceLike,
     as_array,
     group_batch_operands,
+    group_cutoff,
+    item_cutoff,
+    validate_group_shape,
 )
 from repro.distances.cache import DistanceCache
 from repro.distances.lower_bounds import combined_batch_bound, combined_bound
@@ -294,7 +297,8 @@ class CountingDistance:
         self,
         query: SequenceLike,
         items: TypingSequence[SequenceLike],
-        cutoff: Optional[float] = None,
+        cutoff=None,
+        packed=None,
     ) -> np.ndarray:
         """Counted, cached, prefiltered :meth:`Distance.batch`.
 
@@ -302,14 +306,22 @@ class CountingDistance:
         shape, prefiltered (when enabled and a cutoff is given) with one
         vectorized bound evaluation per group, and the survivors go through
         the batched kernels in one call per group.  The returned array obeys
-        the same contract as :meth:`Distance.batch`.
+        the same contract as :meth:`Distance.batch`; ``cutoff`` may be one
+        scalar or a per-item vector (the top-k scan's heap thresholds).
+
+        ``packed`` optionally supplies the operand arrays from a packed
+        window layout (:mod:`repro.sequences.packed`): position ``i`` of
+        ``items`` must be backed by position ``i`` of the gather.  The
+        gathered tensors hold the exact bytes the un-packed path would
+        stack, so results, counters, and cache traffic are unchanged --
+        only the per-call coercion and stacking disappear.
         """
         values = np.empty(len(items), dtype=np.float64)
         query_array = as_array(query)
         pending: List[int] = []
         for index, item in enumerate(items):
             if self.cache is not None and DistanceCache.cacheable(query, item):
-                cached = self.cache.lookup(query, item, cutoff=cutoff)
+                cached = self.cache.lookup(query, item, cutoff=item_cutoff(cutoff, index))
                 if cached is not None:
                     self.counter.record_cache_hit()
                     values[index] = cached
@@ -318,13 +330,24 @@ class CountingDistance:
         if not pending:
             return values
 
-        arrays, groups = group_batch_operands(self.inner, query_array, items, pending)
+        if packed is None:
+            arrays, groups = group_batch_operands(self.inner, query_array, items, pending)
+        else:
+            groups = {}
+            for index in pending:
+                groups.setdefault(packed.shape_of(index), []).append(index)
+            for shape in groups:
+                validate_group_shape(self.inner, query_array, shape)
         for indexes in groups.values():
-            tensor = np.stack([arrays[i] for i in indexes])
+            if packed is None:
+                tensor = np.stack([arrays[i] for i in indexes])
+            else:
+                tensor = packed.gather(indexes)
             survivors = indexes
+            thresholds = group_cutoff(cutoff, indexes)
             if self.prefilter and cutoff is not None:
                 bounds = combined_batch_bound(self.inner, query_array, tensor)
-                pruned_mask = bounds > cutoff
+                pruned_mask = bounds > thresholds
                 pruned_count = int(np.count_nonzero(pruned_mask))
                 self.counter.record_prefilter(len(indexes), pruned_count)
                 if pruned_count:
@@ -334,20 +357,24 @@ class CountingDistance:
                         if self.cache is not None and DistanceCache.cacheable(
                             query, items[index]
                         ):
-                            self.cache.store(query, items[index], _INF, cutoff=cutoff)
+                            self.cache.store(
+                                query, items[index], _INF, cutoff=item_cutoff(cutoff, index)
+                            )
                     keep = np.nonzero(~pruned_mask)[0]
                     survivors = [indexes[position] for position in keep]
                     tensor = tensor[keep]
+                    if np.ndim(thresholds) != 0:
+                        thresholds = thresholds[keep]
             if not survivors:
                 continue
-            fresh = self.inner.compute_batch(
-                query_array, tensor, None if cutoff is None else float(cutoff)
-            )
+            fresh = self.inner.compute_batch(query_array, tensor, thresholds)
             self.counter.increment(len(survivors))
             for position, index in enumerate(survivors):
                 values[index] = float(fresh[position])
                 if self.cache is not None and DistanceCache.cacheable(query, items[index]):
-                    self.cache.store(query, items[index], values[index], cutoff=cutoff)
+                    self.cache.store(
+                        query, items[index], values[index], cutoff=item_cutoff(cutoff, index)
+                    )
         return values
 
     def __repr__(self) -> str:

@@ -1,0 +1,196 @@
+"""Packed window tensors: same-shape sequences as one contiguous array.
+
+The batched distance kernels (:meth:`repro.distances.base.Distance.batch`
+and the counting wrapper in :mod:`repro.indexing.stats`) operate on
+``(k, length, dim)`` tensors, one per shape group.  Without preparation
+every batch call re-coerces each stored window with ``as_array`` and
+re-stacks the group -- an O(total elements) copy per query that dominates
+the runtime of short-window scans once the DP kernels themselves are
+compiled.
+
+:class:`PackedWindowStore` moves that work to insertion time: windows are
+coerced once, grouped by ``(length, dim)``, and each group is lazily
+stacked into one C-contiguous float64 tensor that is reused (and
+fancy-indexed) by every subsequent query.  Two adapters expose the packed
+layout to the batch entry points, which accept them as the optional
+``packed`` argument:
+
+* :class:`StoreGather` aligns a per-call item list (by position) with the
+  store, preserving the exact per-item iteration order of the un-packed
+  path -- results, counters, and cache interactions stay byte-identical;
+* :class:`TensorGather` serves rows of one already-stacked tensor (a
+  single shape group, e.g. a parallel work unit's payload).
+
+Packing is purely an execution-layout change: the gathered tensors hold
+the same float64 values ``np.stack`` would produce, so every kernel sees
+identical input bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence as TypingSequence, Tuple
+
+import numpy as np
+
+from repro.distances.base import as_array
+from repro.exceptions import IndexError_
+
+Shape = Tuple[int, int]
+
+
+class _ShapeGroup:
+    """One ``(length, dim)`` bucket: member arrays plus a cached stack."""
+
+    __slots__ = ("keys", "arrays", "rows", "tensor")
+
+    def __init__(self) -> None:
+        self.keys: List[Hashable] = []
+        self.arrays: List[np.ndarray] = []
+        #: key -> row position inside :attr:`tensor` / :attr:`arrays`.
+        self.rows: Dict[Hashable, int] = {}
+        self.tensor: Optional[np.ndarray] = None
+
+
+class PackedWindowStore:
+    """Keyed storage of ``(length, dim)`` windows in packed shape groups.
+
+    Insertion order is preserved within each group, and groups remember
+    their first-insertion order, so a scan that walks the store in the
+    caller's key order sees exactly the arrays it inserted.  Mutations
+    invalidate only the affected group's cached tensor; ``remove`` is
+    O(group size) (it compacts the row table), which is fine for the
+    query-dominated workloads the store exists for.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[Shape, _ShapeGroup] = {}
+        self._shapes: Dict[Hashable, Shape] = {}
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._shapes
+
+    def add(self, key: Hashable, item: object) -> None:
+        """Coerce ``item`` once and file it under its shape group."""
+        if key in self._shapes:
+            raise IndexError_(f"key {key!r} is already packed")
+        array = np.ascontiguousarray(as_array(item))
+        shape: Shape = (array.shape[0], array.shape[1])
+        group = self._groups.get(shape)
+        if group is None:
+            group = self._groups[shape] = _ShapeGroup()
+        group.rows[key] = len(group.keys)
+        group.keys.append(key)
+        group.arrays.append(array)
+        group.tensor = None
+        self._shapes[key] = shape
+
+    def remove(self, key: Hashable) -> None:
+        """Drop ``key``; empty groups disappear entirely."""
+        try:
+            shape = self._shapes.pop(key)
+        except KeyError:
+            raise IndexError_(f"key {key!r} is not packed") from None
+        group = self._groups[shape]
+        row = group.rows.pop(key)
+        del group.keys[row]
+        del group.arrays[row]
+        for later in group.keys[row:]:
+            group.rows[later] -= 1
+        group.tensor = None
+        if not group.keys:
+            del self._groups[shape]
+
+    def clear(self) -> None:
+        self._groups.clear()
+        self._shapes.clear()
+
+    def shape_of(self, key: Hashable) -> Shape:
+        """The ``(length, dim)`` shape of the stored window."""
+        return self._shapes[key]
+
+    def array(self, key: Hashable) -> np.ndarray:
+        """The coerced ``(length, dim)`` array stored under ``key``."""
+        shape = self._shapes[key]
+        group = self._groups[shape]
+        return group.arrays[group.rows[key]]
+
+    def group_shapes(self) -> List[Shape]:
+        """Group shapes in first-insertion order."""
+        return list(self._groups.keys())
+
+    def group_keys(self, shape: Shape) -> List[Hashable]:
+        """Member keys of one group, in insertion order."""
+        return list(self._groups[shape].keys)
+
+    def group_tensor(self, shape: Shape) -> np.ndarray:
+        """The group's packed ``(k, length, dim)`` tensor (cached stack)."""
+        group = self._groups[shape]
+        if group.tensor is None:
+            group.tensor = np.stack(group.arrays)
+        return group.tensor
+
+    def row_of(self, key: Hashable) -> int:
+        """Row of ``key`` inside its group's tensor."""
+        return self._groups[self._shapes[key]].rows[key]
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedWindowStore(items={len(self._shapes)}, "
+            f"groups={len(self._groups)})"
+        )
+
+
+class StoreGather:
+    """Adapter: a positional item list backed by a :class:`PackedWindowStore`.
+
+    ``keys[i]`` names the store entry behind position ``i`` of the batch
+    call's item list.  ``gather`` fancy-indexes the group tensor, so the
+    per-call cost is one index array instead of ``k`` coercions and a
+    stack.
+    """
+
+    __slots__ = ("store", "keys")
+
+    def __init__(self, store: PackedWindowStore, keys: TypingSequence[Hashable]) -> None:
+        self.store = store
+        self.keys = keys
+
+    def shape_of(self, position: int) -> Shape:
+        return self.store.shape_of(self.keys[position])
+
+    def gather(self, positions: TypingSequence[int]) -> np.ndarray:
+        """Stack the windows at ``positions`` (which share one shape)."""
+        shape = self.store.shape_of(self.keys[positions[0]])
+        tensor = self.store.group_tensor(shape)
+        rows = np.fromiter(
+            (self.store.row_of(self.keys[position]) for position in positions),
+            dtype=np.intp,
+            count=len(positions),
+        )
+        if rows.shape[0] == tensor.shape[0] and np.array_equal(
+            rows, np.arange(tensor.shape[0])
+        ):
+            return tensor
+        return tensor[rows]
+
+
+class TensorGather:
+    """Adapter: positions are rows of one pre-stacked ``(k, m, dim)`` tensor."""
+
+    __slots__ = ("tensor",)
+
+    def __init__(self, tensor: np.ndarray) -> None:
+        self.tensor = tensor
+
+    def shape_of(self, position: int) -> Shape:
+        return (self.tensor.shape[1], self.tensor.shape[2])
+
+    def gather(self, positions: TypingSequence[int]) -> np.ndarray:
+        if len(positions) == self.tensor.shape[0] and list(positions) == list(
+            range(self.tensor.shape[0])
+        ):
+            return self.tensor
+        return self.tensor[np.asarray(positions, dtype=np.intp)]

@@ -1,0 +1,457 @@
+"""The compiled kernel tier must be value-exact against the NumPy oracle.
+
+Every provider (``pyloop`` always; ``cc`` wherever a C compiler exists;
+``numba`` wherever Numba is importable) is compared against the NumPy tier
+-- and, through it, against the retained cell-by-cell references of
+:mod:`repro.distances.reference` -- for every elastic distance and every
+call form (unbounded value, bounded value, batch with scalar and per-row
+cutoff vectors).  Equality is exact (``==``), not approximate: identical
+values are what keep results, work counters, caches, and replay logs
+byte-identical across backends.
+
+Also covered here: backend selection (env default, scopes, fallbacks,
+configuration errors), the fused-dispatch dimensionality guard, the packed
+window-tensor store behind the linear scan, and the streaming ``knn_scan``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MatcherConfig
+from repro.distances import DTW, EDR, ERP, DiscreteFrechet, Levenshtein
+from repro.distances import backend as backend_module
+from repro.distances.backend import (
+    KNOWN_KERNELS,
+    active_kernel_name,
+    fused_provider,
+    kernel_scope,
+    resolve_kernel,
+)
+from repro.distances.compiled import (
+    MAX_FUSED_DIM,
+    METRIC_KIND_CODES,
+    MODE_EDR,
+    MODE_ERP,
+    MODE_LEVENSHTEIN,
+    NO_GAP,
+    fusable_dim,
+    make_provider,
+)
+from repro.distances.base import ElementMetric
+from repro.distances.reference import reference_edit_table, reference_warping_table
+from repro.exceptions import (
+    ConfigurationError,
+    DistanceError,
+    IncompatibleSequencesError,
+    IndexError_,
+)
+from repro.indexing.linear_scan import LinearScanIndex
+from repro.sequences.packed import PackedWindowStore, StoreGather, TensorGather
+
+
+def _provider_or_skip(name):
+    try:
+        return make_provider(name)
+    except Exception as error:
+        pytest.skip(f"provider {name!r} unavailable: {error!r}")
+
+
+PROVIDER_NAMES = ["pyloop", "cc", "numba"]
+
+# One representative configuration per distance family: additive warping,
+# banded warping, bottleneck warping, and each edit-recurrence mode.
+DISTANCES = [
+    DTW(),
+    DTW(band=3),
+    DTW(element_metric=ElementMetric("manhattan")),
+    DiscreteFrechet(),
+    ERP(gap=0.25),
+    EDR(epsilon=0.4),
+    Levenshtein(),
+]
+
+
+def _random_pair(rng, dim=2, max_len=30):
+    n = int(rng.integers(1, max_len))
+    m = int(rng.integers(1, max_len))
+    if dim == 0:  # alphabet-style integer sequences for the edit measures
+        return (
+            rng.integers(0, 4, size=(n, 1)).astype(np.float64),
+            rng.integers(0, 4, size=(m, 1)).astype(np.float64),
+        )
+    return rng.normal(size=(n, dim)), rng.normal(size=(m, dim))
+
+
+def _pair_for(distance, rng):
+    if isinstance(distance, Levenshtein):
+        return _random_pair(rng, dim=0)
+    return _random_pair(rng, dim=2)
+
+
+# --------------------------------------------------------------------- #
+# Distance-level equivalence: every provider == the NumPy tier, exactly
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("provider_name", PROVIDER_NAMES)
+@pytest.mark.parametrize("distance", DISTANCES, ids=lambda d: repr(d))
+def test_value_and_bounded_match_numpy_exactly(provider_name, distance):
+    _provider_or_skip(provider_name)
+    rng = np.random.default_rng(hash((provider_name, repr(distance))) % (2**32))
+    for trial in range(20):
+        a, b = _pair_for(distance, rng)
+        with kernel_scope("numpy"):
+            try:
+                expected = distance(a, b)
+            except DistanceError:
+                expected = None  # band infeasible
+        with kernel_scope(provider_name):
+            if expected is None:
+                with pytest.raises(DistanceError):
+                    distance(a, b)
+                continue
+            assert distance(a, b) == expected
+            # Cutoff above, exactly at, and below the true value: the
+            # bounded contract demands exactness at or below the cutoff
+            # and any value strictly above it otherwise.
+            for cutoff in (expected + 1.0, expected):
+                with kernel_scope("numpy"):
+                    reference = distance.bounded(a, b, cutoff)
+                assert distance.bounded(a, b, cutoff) == reference
+                assert reference == expected
+            if expected > 0:
+                below = distance.bounded(a, b, expected * 0.5)
+                assert below > expected * 0.5
+
+
+@pytest.mark.parametrize("provider_name", PROVIDER_NAMES)
+@pytest.mark.parametrize("distance", DISTANCES, ids=lambda d: repr(d))
+def test_batch_matches_numpy_exactly(provider_name, distance):
+    _provider_or_skip(provider_name)
+    rng = np.random.default_rng(hash((provider_name, repr(distance), 1)) % (2**32))
+    for trial in range(10):
+        query, _ = _pair_for(distance, rng)
+        k = int(rng.integers(1, 8))
+        length = int(rng.integers(1, 25))
+        if distance.supports_unequal_lengths:
+            pass
+        else:
+            length = query.shape[0]
+        if isinstance(distance, Levenshtein):
+            items = rng.integers(0, 4, size=(k, length, 1)).astype(np.float64)
+        else:
+            items = rng.normal(size=(k, length, query.shape[1]))
+        for cutoff in (None, 1.0, rng.uniform(0.5, 4.0, size=k)):
+            with kernel_scope("numpy"):
+                try:
+                    expected = distance.batch(query, list(items), cutoff)
+                except DistanceError:
+                    expected = None
+            with kernel_scope(provider_name):
+                if expected is None:
+                    with pytest.raises(DistanceError):
+                        distance.batch(query, list(items), cutoff)
+                    continue
+                got = distance.batch(query, list(items), cutoff)
+            assert np.array_equal(got, expected), (trial, cutoff)
+
+
+@pytest.mark.parametrize("provider_name", PROVIDER_NAMES)
+def test_vector_cutoffs_match_per_row_bounded(provider_name):
+    """A per-row cutoff vector must behave as k independent bounded calls."""
+    _provider_or_skip(provider_name)
+    rng = np.random.default_rng(7)
+    distance = DTW()
+    query = rng.normal(size=(12, 2))
+    items = [rng.normal(size=(int(rng.integers(4, 16)), 2)) for _ in range(9)]
+    with kernel_scope(provider_name):
+        exact = [distance(query, item) for item in items]
+        cutoffs = np.asarray(
+            [value * factor for value, factor in zip(exact, [0.5, 1.0, 2.0] * 3)]
+        )
+        # Batch computes per shape group internally; compare row by row
+        # against the scalar bounded path with that row's threshold.
+        values = distance.batch(query, items, cutoffs)
+        for value, item, cutoff, true in zip(values, items, cutoffs, exact):
+            if true <= cutoff:
+                assert value == true
+            else:
+                assert value > cutoff
+
+
+# --------------------------------------------------------------------- #
+# Provider-level equivalence against the retained scalar references
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("provider_name", PROVIDER_NAMES)
+@pytest.mark.parametrize("use_max", [False, True])
+@pytest.mark.parametrize("band", [None, 0, 2, 50])
+def test_warp_value_matches_reference_table(provider_name, use_max, band):
+    provider = _provider_or_skip(provider_name)
+    rng = np.random.default_rng(hash((provider_name, use_max, band)) % (2**32))
+    metric = ElementMetric("euclidean")
+    for trial in range(10):
+        q, x = _random_pair(rng, dim=2, max_len=20)
+        cost = metric.matrix(q, x)
+        aggregate = "max" if use_max else "sum"
+        expected = reference_warping_table(cost, aggregate, band)[-1, -1]
+        got = provider.warp_value(q, x, METRIC_KIND_CODES["euclidean"], use_max, band, None)
+        if np.isinf(expected):
+            assert np.isinf(got)
+        else:
+            assert got == pytest.approx(expected, abs=1e-9)
+
+
+@pytest.mark.parametrize("provider_name", PROVIDER_NAMES)
+@pytest.mark.parametrize("mode", [MODE_LEVENSHTEIN, MODE_ERP, MODE_EDR])
+def test_edit_value_matches_reference_table(provider_name, mode):
+    provider = _provider_or_skip(provider_name)
+    rng = np.random.default_rng(hash((provider_name, mode)) % (2**32))
+    metric = ElementMetric("euclidean")
+    eps = 0.4
+    for trial in range(10):
+        q, x = _random_pair(rng, dim=2, max_len=20)
+        if mode == MODE_LEVENSHTEIN:
+            sub = (metric.matrix(q, x) > 0).astype(np.float64)
+            deletion = np.ones(len(q))
+            insertion = np.ones(len(x))
+            gap = NO_GAP
+        elif mode == MODE_ERP:
+            gap = np.asarray([0.25, 0.25])
+            sub = metric.matrix(q, x)
+            deletion = metric.to_origin(q, gap)
+            insertion = metric.to_origin(x, gap)
+        else:
+            sub = (metric.matrix(q, x) > eps).astype(np.float64)
+            deletion = np.ones(len(q))
+            insertion = np.ones(len(x))
+            gap = NO_GAP
+        expected = reference_edit_table(sub, deletion, insertion)[-1, -1]
+        got = provider.edit_value(
+            q, x, mode, METRIC_KIND_CODES["euclidean"], gap, eps, None
+        )
+        assert got == pytest.approx(expected, abs=1e-9)
+
+
+@pytest.mark.parametrize("provider_name", PROVIDER_NAMES)
+def test_warm_runs_every_kernel(provider_name):
+    provider = _provider_or_skip(provider_name)
+    provider.warm()  # must not raise
+
+
+# --------------------------------------------------------------------- #
+# Backend selection
+# --------------------------------------------------------------------- #
+
+
+class TestBackendSelection:
+    def test_numpy_scope_disables_fused_dispatch(self):
+        with kernel_scope("numpy"):
+            assert fused_provider(2) is None
+            assert active_kernel_name() == "numpy"
+
+    def test_pyloop_scope_reports_its_name(self):
+        with kernel_scope("pyloop"):
+            assert active_kernel_name() == "pyloop"
+            assert fused_provider(2) is not None
+
+    def test_scopes_nest_innermost_wins(self):
+        with kernel_scope("pyloop"):
+            with kernel_scope("numpy"):
+                assert active_kernel_name() == "numpy"
+            assert active_kernel_name() == "pyloop"
+
+    def test_dimension_guard(self):
+        assert fusable_dim(MAX_FUSED_DIM)
+        assert not fusable_dim(MAX_FUSED_DIM + 1)
+        with kernel_scope("pyloop"):
+            assert fused_provider(MAX_FUSED_DIM + 1) is None
+
+    def test_wide_points_fall_back_but_stay_exact(self):
+        rng = np.random.default_rng(11)
+        dim = MAX_FUSED_DIM + 3
+        a, b = rng.normal(size=(9, dim)), rng.normal(size=(14, dim))
+        distance = DTW()
+        with kernel_scope("numpy"):
+            expected = distance(a, b)
+        with kernel_scope("pyloop"):
+            assert distance(a, b) == expected
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_kernel("fortran")
+
+    def test_auto_never_raises(self):
+        resolve_kernel("auto")  # any outcome but an exception is fine
+
+    def test_concrete_unavailable_provider_raises(self, monkeypatch):
+        monkeypatch.setitem(backend_module._provider_cache, "numba", None)
+        with pytest.raises(ConfigurationError):
+            resolve_kernel("numba")
+
+    def test_compiled_warns_once_when_nothing_available(self, monkeypatch):
+        monkeypatch.setattr(backend_module, "DETECTION_ORDER", ())
+        monkeypatch.setattr(backend_module, "_warned_fallback", False)
+        with pytest.warns(RuntimeWarning):
+            assert resolve_kernel("compiled") is None
+        # second resolution is silent
+        assert resolve_kernel("compiled") is None
+
+    def test_auto_falls_back_silently(self, monkeypatch):
+        monkeypatch.setattr(backend_module, "DETECTION_ORDER", ())
+        assert resolve_kernel("auto") is None
+
+    def test_config_validates_kernel_names(self):
+        for name in KNOWN_KERNELS:
+            assert MatcherConfig(min_length=4, kernel=name).kernel == name
+        with pytest.raises(ConfigurationError):
+            MatcherConfig(min_length=4, kernel="fortran")
+
+    def test_config_reads_environment_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        assert MatcherConfig(min_length=4).kernel == "numpy"
+        monkeypatch.delenv("REPRO_KERNEL")
+        assert MatcherConfig(min_length=4).kernel == "auto"
+
+
+# --------------------------------------------------------------------- #
+# Error behaviour must not depend on the backend
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("kernel", ["numpy", "pyloop"])
+class TestErrorsAcrossBackends:
+    def test_empty_sequences_rejected(self, kernel):
+        with kernel_scope(kernel):
+            with pytest.raises(DistanceError):
+                DTW()(np.zeros((0, 2)), np.ones((3, 2)))
+
+    def test_dimension_mismatch_rejected(self, kernel):
+        with kernel_scope(kernel):
+            with pytest.raises(IncompatibleSequencesError):
+                DTW()(np.zeros((3, 2)), np.ones((3, 3)))
+
+    def test_equal_length_requirement_enforced_in_batch(self, kernel):
+        from repro.distances import Euclidean
+
+        query = np.zeros((4, 1))
+        items = [np.ones((4, 1)), np.ones((5, 1))]
+        with kernel_scope(kernel):
+            with pytest.raises(IncompatibleSequencesError):
+                Euclidean().batch(query, items)
+
+    def test_infeasible_band_raises(self, kernel):
+        a, b = np.zeros((3, 1)), np.ones((30, 1))
+        with kernel_scope(kernel):
+            with pytest.raises(DistanceError):
+                DTW(band=1)(a, b)
+
+
+# --------------------------------------------------------------------- #
+# Packed window tensors
+# --------------------------------------------------------------------- #
+
+
+class TestPackedWindowStore:
+    def test_groups_by_shape_and_stacks_identically(self):
+        rng = np.random.default_rng(3)
+        store = PackedWindowStore()
+        arrays = {}
+        for i in range(12):
+            shape = [(4, 2), (6, 2), (4, 3)][i % 3]
+            arrays[f"k{i}"] = rng.normal(size=shape)
+            store.add(f"k{i}", arrays[f"k{i}"])
+        assert set(store.group_shapes()) == {(4, 2), (6, 2), (4, 3)}
+        for shape in store.group_shapes():
+            keys = store.group_keys(shape)
+            tensor = store.group_tensor(shape)
+            expected = np.stack([arrays[key] for key in keys])
+            assert tensor.flags["C_CONTIGUOUS"]
+            assert np.array_equal(tensor, expected)
+
+    def test_duplicate_key_rejected(self):
+        store = PackedWindowStore()
+        store.add("a", np.zeros((2, 1)))
+        with pytest.raises(IndexError_):
+            store.add("a", np.ones((2, 1)))
+
+    def test_remove_invalidates_only_its_group(self):
+        store = PackedWindowStore()
+        store.add("a", np.zeros((2, 1)))
+        store.add("b", np.ones((2, 1)))
+        store.add("c", np.full((3, 1), 2.0))
+        first = store.group_tensor((3, 1))
+        store.remove("b")
+        assert store.group_keys((2, 1)) == ["a"]
+        assert np.array_equal(store.group_tensor((2, 1)), np.zeros((1, 2, 1)))
+        assert store.group_tensor((3, 1)) is first  # untouched group stays cached
+
+    def test_store_gather_preserves_positional_order(self):
+        rng = np.random.default_rng(5)
+        store = PackedWindowStore()
+        arrays = [rng.normal(size=(3, 2)) for _ in range(6)]
+        for i, arr in enumerate(arrays):
+            store.add(i, arr)
+        gather = StoreGather(store, [4, 1, 3])
+        assert gather.shape_of(0) == (3, 2)
+        tensor = gather.gather([0, 1, 2])
+        assert np.array_equal(tensor, np.stack([arrays[4], arrays[1], arrays[3]]))
+
+    def test_tensor_gather_identity_fast_path(self):
+        tensor = np.arange(24, dtype=np.float64).reshape(2, 3, 4)
+        gather = TensorGather(tensor)
+        assert gather.gather([0, 1]) is tensor
+        subset = gather.gather([1])
+        assert np.array_equal(subset, tensor[[1]])
+
+
+class TestLinearScanPacking:
+    def _index(self, rng, kernel="numpy"):
+        index = LinearScanIndex(DTW())
+        for i in range(40):
+            length = 8 if i % 2 else 10
+            index.add(rng.normal(size=(length, 2)), key=f"w{i}")
+        return index
+
+    def test_packed_and_unpacked_results_identical(self):
+        rng = np.random.default_rng(9)
+        packed = self._index(rng)
+        rng = np.random.default_rng(9)
+        unpacked = self._index(rng)
+        unpacked._packed_ok = False
+        query = np.random.default_rng(10).normal(size=(9, 2))
+        for kernel in ("numpy", "pyloop"):
+            with kernel_scope(kernel):
+                a = packed.batch_range_query([query], 3.0)[0]
+                b = unpacked.batch_range_query([query], 3.0)[0]
+            assert [(m.key, m.distance) for m in a] == [(m.key, m.distance) for m in b]
+
+    def test_knn_scan_matches_knn_query(self):
+        rng = np.random.default_rng(13)
+        index = self._index(rng)
+        query = np.random.default_rng(14).normal(size=(9, 2))
+        for kernel in ("numpy", "pyloop"):
+            with kernel_scope(kernel):
+                for k in (1, 3, 7):
+                    scan = index.knn_scan(query, k, chunk_size=8)
+                    ranked = index.knn_query(query, k)
+                    assert [m.key for m in scan] == [m.key for m in ranked]
+                    assert [m.distance for m in scan] == [m.distance for m in ranked]
+
+    def test_knn_scan_arguments_validated(self):
+        index = LinearScanIndex(DTW())
+        with pytest.raises(IndexError_):
+            index.knn_scan(np.zeros((2, 1)), 0)
+        with pytest.raises(IndexError_):
+            index.knn_scan(np.zeros((2, 1)), 1, chunk_size=0)
+        assert index.knn_scan(np.zeros((2, 1)), 3) == []
+
+    def test_unpackable_item_falls_back_cleanly(self):
+        index = LinearScanIndex(DTW())
+        index.add(np.zeros((4, 2)), key="good")
+        index.add("not a sequence", key="bad")
+        assert not index._packed_ok
+        index.remove("bad")
+        matches = index.range_query(np.zeros((4, 2)), 0.5)
+        assert [m.key for m in matches] == ["good"]

@@ -542,3 +542,115 @@ class TestExecutorEquivalence:
             assert stage in stats.stage_timings
             assert stage in stats.cpu_stage_timings
             assert stats.cpu_stage_timings[stage] >= 0.0
+
+
+# --------------------------------------------------------------------- #
+# Kernel-backend equivalence: compiled tiers x executors vs the oracle
+# --------------------------------------------------------------------- #
+
+
+def _available_compiled_kernels():
+    """Concrete compiled providers usable on this machine (pyloop always)."""
+    from repro.distances.compiled import make_provider
+
+    names = ["pyloop"]
+    for name in ("cc", "numba"):
+        try:
+            make_provider(name)
+        except Exception:
+            continue
+        names.append(name)
+    return names
+
+
+class TestKernelBackendEquivalence:
+    """Compiled kernels must be *undetectable* from results and counters.
+
+    The same contract the executors honour, along the other axis: for every
+    available compiled provider and for both the serial and the thread
+    executor, matches AND work counters must be identical to the NumPy
+    matcher -- the kernel knob may only change speed (and the
+    ``kernel_backend`` label on the stats).
+    """
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("kernel", _available_compiled_kernels())
+    def test_all_query_types_match_numpy(self, planted, kernel, executor):
+        db, query = planted
+        def make(kern, execu):
+            return SubsequenceMatcher(
+                db,
+                DiscreteFrechet(),
+                MatcherConfig(
+                    min_length=12,
+                    max_shift=1,
+                    index="linear-scan",
+                    kernel=kern,
+                    executor=execu,
+                    workers=4 if execu != "serial" else None,
+                ),
+            )
+        oracle = make("numpy", "serial")
+        subject = make(kernel, executor)
+
+        serial_range = oracle.range_search(query, RangeQuery(radius=0.5))
+        subject_range = subject.range_search(query, RangeQuery(radius=0.5))
+        assert list(map(_full_match_key, subject_range)) == list(
+            map(_full_match_key, serial_range)
+        )
+        assert _stats_fingerprint(subject.last_query_stats) == _stats_fingerprint(
+            oracle.last_query_stats
+        )
+        assert subject.last_query_stats.kernel_backend == kernel
+        assert oracle.last_query_stats.kernel_backend == "numpy"
+
+        serial_longest = oracle.longest_similar(query, 0.5)
+        subject_longest = subject.longest_similar(query, 0.5)
+        assert _full_match_key(subject_longest) == _full_match_key(serial_longest)
+        assert _stats_fingerprint(subject.last_query_stats) == _stats_fingerprint(
+            oracle.last_query_stats
+        )
+
+        spec = NearestSubsequenceQuery(max_radius=10.0)
+        serial_nearest = oracle.nearest_subsequence(query, spec)
+        subject_nearest = subject.nearest_subsequence(query, spec)
+        assert _full_match_key(subject_nearest) == _full_match_key(serial_nearest)
+        assert _stats_fingerprint(subject.last_query_stats) == _stats_fingerprint(
+            oracle.last_query_stats
+        )
+        for oracle_pass, subject_pass in zip(
+            oracle.last_query_stats.passes, subject.last_query_stats.passes
+        ):
+            assert _stats_fingerprint(subject_pass) == _stats_fingerprint(oracle_pass)
+
+    @pytest.mark.parametrize("kernel", _available_compiled_kernels())
+    def test_string_matcher_with_prefilter(self, string_database, kernel):
+        """Levenshtein + prefilter: the edit kernels and the bounds interact."""
+        config = dict(min_length=8, max_shift=1, index="linear-scan")
+        oracle = SubsequenceMatcher(
+            string_database, Levenshtein(), MatcherConfig(kernel="numpy", **config)
+        )
+        subject = SubsequenceMatcher(
+            string_database, Levenshtein(), MatcherConfig(kernel=kernel, **config)
+        )
+        query = Sequence.from_string("ACDEFGHIKL", string_database["s1"].alphabet)
+        oracle_result = oracle.longest_similar(query, 2.0)
+        subject_result = subject.longest_similar(query, 2.0)
+        assert _full_match_key(subject_result) == _full_match_key(oracle_result)
+        assert _stats_fingerprint(subject.last_query_stats) == _stats_fingerprint(
+            oracle.last_query_stats
+        )
+        assert subject.last_query_stats.prefilter_evaluations > 0
+
+    def test_set_kernel_switches_live_matcher(self, planted):
+        db, query = planted
+        matcher = SubsequenceMatcher(
+            db,
+            DiscreteFrechet(),
+            MatcherConfig(min_length=12, max_shift=1, index="linear-scan", kernel="numpy"),
+        )
+        matcher.range_search(query, RangeQuery(radius=0.5))
+        assert matcher.last_query_stats.kernel_backend == "numpy"
+        matcher.set_kernel("pyloop")
+        matcher.range_search(query, RangeQuery(radius=0.5))
+        assert matcher.last_query_stats.kernel_backend == "pyloop"
