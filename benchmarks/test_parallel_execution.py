@@ -14,6 +14,9 @@ The benchmark also re-asserts the equivalence contract end to end: every
 leg must report identical match results and identical work counters.
 """
 
+import time
+
+import numpy as np
 import pytest
 
 from _harness import scaled
@@ -28,23 +31,31 @@ from repro.core.queries import (
 from repro.core.sharded import ShardedMatcher
 from repro.datasets.loaders import dataset_distance, load_dataset
 from repro.datasets.songs import generate_song_query
+from repro.distances.cache import DistanceCache
+from repro.distances.frechet import DiscreteFrechet
+from repro.distances.recording import RecordingCounting
+from repro.indexing.stats import CountingDistance
+from repro.sequences.packed import PackedWindowStore, StoreGather
+from repro.sequences.sequence import Sequence, SequenceKind
 
 pytestmark = pytest.mark.benchmark
 
 RADIUS = 2.0
 MAX_RADIUS = 8.0
 
-#: (benchmark leg, executor, shards)
+#: (benchmark leg, executor, shards, transport)
 LEGS = [
-    ("serial", "serial", 1),
-    ("thread", "thread", 1),
-    ("sharded-thread", "thread", 4),
+    ("serial", "serial", 1, "auto"),
+    ("thread", "thread", 1, "auto"),
+    ("sharded-thread", "thread", 4, "auto"),
+    ("process", "process", 1, "pickle"),
+    ("process-shared", "process", 1, "shared"),
 ]
 
 _EXPECTED = {}
 
 
-def _build(executor: str, shards: int):
+def _build(executor: str, shards: int, transport: str = "auto"):
     database = load_dataset("songs", num_windows=scaled(200), seed=0)
     distance = dataset_distance("songs", "frechet")
     config = MatcherConfig(
@@ -53,6 +64,7 @@ def _build(executor: str, shards: int):
         index="linear-scan",
         executor=executor,
         shards=shards,
+        transport=transport,
     )
     query, _, _ = generate_song_query(database, length=80, seed=13)
     if shards > 1:
@@ -60,9 +72,14 @@ def _build(executor: str, shards: int):
     return SubsequenceMatcher(database, distance, config), query
 
 
-@pytest.mark.parametrize("leg, executor, shards", LEGS)
-def test_end_to_end_parallel_songs(benchmark, leg, executor, shards):
-    matcher, query = _build(executor, shards)
+@pytest.mark.parametrize("leg, executor, shards, transport", LEGS)
+def test_end_to_end_parallel_songs(benchmark, leg, executor, shards, transport):
+    if transport == "shared":
+        from repro.sequences import packed as packed_module
+
+        if packed_module.shared_memory is None:
+            pytest.skip("multiprocessing.shared_memory unavailable")
+    matcher, query = _build(executor, shards, transport)
 
     def run():
         outcome = {}
@@ -81,8 +98,11 @@ def test_end_to_end_parallel_songs(benchmark, leg, executor, shards):
         outcome["nearest"] = round(nearest.distance, 9)
         return outcome
 
-    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
-    stats = matcher.last_query_stats
+    try:
+        outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+        stats = matcher.last_query_stats
+    finally:
+        matcher.close()
 
     print()
     print(
@@ -109,3 +129,116 @@ def test_end_to_end_parallel_songs(benchmark, leg, executor, shards):
     else:
         assert outcome == _EXPECTED["outcome"]
     assert outcome["longest"][0] >= 40
+
+
+# --------------------------------------------------------------------------- #
+# Record/replay bookkeeping microbenchmark
+# --------------------------------------------------------------------------- #
+#
+# The parallel engine's per-unit cost on the serial side of Amdahl's law is
+# the record/replay bookkeeping: logging every distance request during the
+# unit and re-applying the log to the real cache and counters afterwards.
+# This microbenchmark isolates that cost on a fixed stream of 10k batched
+# requests (20 query units x 500 packed windows, prefiltered Frechet): each
+# leg records the 20 units cold and replays them in unit order, exactly the
+# thread-executor life cycle.  The *bookkeeping overhead* is the leg's time
+# minus the no-cache compute floor (same kernels, no logging, no cache), and
+# the columnar format must hold a healthy multiple over the object-log
+# reference -- that multiple is what pays for fan-out at high worker counts.
+
+MICRO_QUERIES = 20
+MICRO_WINDOWS = 500
+MICRO_LENGTH = 6
+MICRO_CUTOFF = 1.5
+MICRO_TRIALS = 9
+
+_MICRO = {}
+
+
+def _micro_workload():
+    if "workload" not in _MICRO:
+        generator = np.random.default_rng(7)
+        store = PackedWindowStore()
+        items = []
+        for position in range(MICRO_WINDOWS):
+            values = generator.normal(size=MICRO_LENGTH)
+            store.add(position, values)
+            items.append(Sequence(values, SequenceKind.TIME_SERIES, f"w{position}"))
+        gather = StoreGather(store, list(range(MICRO_WINDOWS)))
+        queries = [
+            Sequence(generator.normal(size=MICRO_LENGTH), SequenceKind.TIME_SERIES, f"q{i}")
+            for i in range(MICRO_QUERIES)
+        ]
+        _MICRO["workload"] = (items, gather, queries)
+    return _MICRO["workload"]
+
+
+def _micro_floor() -> float:
+    """No-cache compute floor: same kernels and prefilter, zero bookkeeping."""
+    if "floor" not in _MICRO:
+        items, gather, queries = _micro_workload()
+
+        def run():
+            counting = CountingDistance(DiscreteFrechet(), cache=None, prefilter=True)
+            start = time.perf_counter()
+            for query in queries:
+                counting.batch(query, items, cutoff=MICRO_CUTOFF, packed=gather)
+            return time.perf_counter() - start
+
+        run()
+        _MICRO["floor"] = min(run() for _ in range(MICRO_TRIALS))
+    return _MICRO["floor"]
+
+
+@pytest.mark.parametrize("log_format", ["object", "columnar"])
+def test_record_replay_bookkeeping(benchmark, log_format):
+    items, gather, queries = _micro_workload()
+
+    def run():
+        cache = DistanceCache()
+        counting = CountingDistance(DiscreteFrechet(), cache=cache, prefilter=True)
+        recordings = []
+        for query in queries:
+            recording = RecordingCounting(
+                DiscreteFrechet(), cache, prefilter=True, log_format=log_format
+            )
+            recording.batch(query, items, cutoff=MICRO_CUTOFF, packed=gather)
+            recordings.append(recording)
+        for recording in recordings:
+            recording.replay_into(counting)
+        return cache, counting
+
+    cache, counting = benchmark.pedantic(run, rounds=MICRO_TRIALS, iterations=1, warmup_rounds=1)
+    best = benchmark.stats.stats.min
+    floor = _micro_floor()
+    requests = MICRO_QUERIES * MICRO_WINDOWS
+    overhead = best - floor
+    _MICRO[log_format] = overhead
+    fingerprint = (len(cache._entries), cache.hits, cache.misses, counting.counter.total)
+    benchmark.extra_info["requests"] = requests
+    benchmark.extra_info["floor_ms"] = round(floor * 1e3, 3)
+    benchmark.extra_info["overhead_ms_per_10k_requests"] = round(overhead * 1e3 * 1e4 / requests, 3)
+
+    rows = [
+        ["log format", log_format],
+        ["requests", requests],
+        ["record+replay (ms)", f"{best * 1e3:.2f}"],
+        ["compute floor (ms)", f"{floor * 1e3:.2f}"],
+        ["bookkeeping overhead (ms / 10k requests)", f"{overhead * 1e3 * 1e4 / requests:.2f}"],
+    ]
+    if log_format == "columnar" and "object" in _MICRO:
+        ratio = _MICRO["object"] / overhead
+        benchmark.extra_info["overhead_ratio_vs_object"] = round(ratio, 2)
+        rows.append(["overhead ratio (object / columnar)", f"{ratio:.2f}x"])
+    print()
+    print(format_table(["quantity", "value"], rows, title="Record/replay bookkeeping"))
+
+    # Both formats replay to the same cache state and counters.
+    if "fingerprint" not in _MICRO:
+        _MICRO["fingerprint"] = fingerprint
+    else:
+        assert fingerprint == _MICRO["fingerprint"]
+    if log_format == "columnar" and "object" in _MICRO:
+        # ~3.6-3.9x on the reference runner (see BENCH_6.json); 3x is the
+        # regression floor for the nightly gate.
+        assert _MICRO["object"] / overhead >= 3.0

@@ -32,6 +32,16 @@ def _default_kernel() -> str:
     return os.environ.get("REPRO_KERNEL", "auto")
 
 
+def _default_transport() -> str:
+    """The configured payload transport (the ``REPRO_TRANSPORT`` env var)."""
+    return os.environ.get("REPRO_TRANSPORT", "auto")
+
+
+def _default_log_format() -> str:
+    """The configured recording log format (``REPRO_LOG_FORMAT`` env var)."""
+    return os.environ.get("REPRO_LOG_FORMAT", "columnar")
+
+
 @dataclass(frozen=True)
 class MatcherConfig:
     """Parameters of the paper's framework.
@@ -102,6 +112,22 @@ class MatcherConfig:
         Number of :class:`~repro.core.sharded.ShardedMatcher` partitions.
         A plain :class:`~repro.core.matcher.SubsequenceMatcher` ignores
         this; the CLI and the sharded constructor read it.
+    transport:
+        How the process executor ships window tensors to its workers:
+        ``"auto"`` (the default; a shared-memory segment when the index's
+        packed store can export one, pickled arrays otherwise),
+        ``"pickle"`` (always pickle), or ``"shared"`` (require shared
+        memory; queries raise if no export is available).  Ignored by the
+        serial and thread executors, which never serialize payloads.
+        Results and counters never depend on this knob.  The default
+        honours the ``REPRO_TRANSPORT`` environment variable.
+    log_format:
+        Storage format for the parallel executors' record/replay logs:
+        ``"columnar"`` (the default; preallocated numpy columns, replayed
+        by a vectorized classifier) or ``"object"`` (the original
+        per-request tuple log, kept as the reference implementation).
+        Both formats replay to byte-identical results and counters.  The
+        default honours the ``REPRO_LOG_FORMAT`` environment variable.
     """
 
     min_length: int
@@ -117,6 +143,8 @@ class MatcherConfig:
     workers: Optional[int] = None
     kernel: str = field(default_factory=_default_kernel)
     shards: int = 1
+    transport: str = field(default_factory=_default_transport)
+    log_format: str = field(default_factory=_default_log_format)
 
     _KNOWN_INDEXES = (
         "reference-net",
@@ -127,6 +155,8 @@ class MatcherConfig:
     )
 
     _KNOWN_EXECUTORS = ("serial", "thread", "process")
+
+    _KNOWN_TRANSPORTS = ("auto", "pickle", "shared")
 
     def __post_init__(self) -> None:
         if self.min_length < 2:
@@ -174,6 +204,18 @@ class MatcherConfig:
             )
         if self.shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.transport not in self._KNOWN_TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {self.transport!r}; "
+                f"expected one of {self._KNOWN_TRANSPORTS}"
+            )
+        from repro.distances.recording import LOG_FORMATS as _LOG_FORMATS
+
+        if self.log_format not in _LOG_FORMATS:
+            raise ConfigurationError(
+                f"unknown log format {self.log_format!r}; "
+                f"expected one of {_LOG_FORMATS}"
+            )
         if self.window_length < 1:
             raise ConfigurationError(
                 f"min_length={self.min_length} yields an empty window; use a larger lambda"

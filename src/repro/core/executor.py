@@ -62,12 +62,18 @@ class WorkTask:
     builds a picklable payload), ``remote`` (a module-level function run on
     the payload in a child), and ``finish`` (parent-side, folds the child's
     output into the task result).
+
+    ``cost`` is a relative estimate of the task's compute weight (for a
+    probe unit: windows x DP cells).  The process executor chunks payloads
+    by accumulated cost rather than by count, so a single heavy shape
+    group gets its own chunk instead of serializing a fixed-size one.
     """
 
     local: Callable[[], Any]
     prepare: Optional[Callable[[], Any]] = None
     remote: Optional[Callable[[Any], Any]] = None
     finish: Optional[Callable[[Any], Any]] = None
+    cost: float = 1.0
 
     @property
     def supports_remote(self) -> bool:
@@ -136,12 +142,22 @@ def _shared_pool(kind: str, workers: int):
 
 @atexit.register
 def shutdown_pools() -> None:
-    """Shut down every shared pool (registered atexit; callable from tests)."""
+    """Shut down every shared pool (registered atexit; callable from tests).
+
+    Also sweeps the shared-memory window exports: once the worker processes
+    are gone nothing can attach to the segments, and tearing them down here
+    means a plain interpreter exit (or a server SIGTERM, which funnels into
+    the same path) never leaks ``/dev/shm`` segments or trips the
+    ``resource_tracker`` leak warnings.
+    """
     with _POOLS_LOCK:
         pools = list(_POOLS.values())
         _POOLS.clear()
     for pool in pools:
         pool.shutdown(wait=True)
+    from repro.sequences.packed import release_all_shared_exports
+
+    release_all_shared_exports()
 
 
 def default_workers() -> int:
@@ -219,10 +235,13 @@ class ThreadPoolExecutor(Executor):
 class ProcessPoolExecutor(Executor):
     """Ship remote-capable work units to a shared process pool, chunked.
 
-    Payloads are grouped by their remote function and submitted in chunks
-    (at most ``2 * workers`` chunks per run) so the per-future pickling and
-    IPC overhead is amortised over a batch of window tensors instead of
-    being paid per unit.  Tasks without a remote phase run in the parent.
+    Payloads are grouped by their remote function and cut into chunks of
+    roughly equal *cost* (each task's :attr:`WorkTask.cost` estimate,
+    targeting ``2 * workers`` chunks per run) so the per-future pickling
+    and IPC overhead is amortised over a batch of payloads while a single
+    heavy task -- one giant shape group -- still gets a chunk of its own
+    instead of serializing the stage behind a fixed-size cut.  Tasks
+    without a remote phase run in the parent.
     """
 
     name = "process"
@@ -241,15 +260,15 @@ class ProcessPoolExecutor(Executor):
             prepared: List[Tuple[int, Any]] = [
                 (position, tasks[position].prepare()) for position in remote_positions
             ]
-            chunk_size = max(1, (len(prepared) + 2 * self.workers - 1) // (2 * self.workers))
+            total_cost = sum(max(tasks[position].cost, 0.0) for position, _ in prepared)
+            cost_target = total_cost / (2 * self.workers) if total_cost > 0 else None
             # Group by remote function so one chunk needs exactly one callable.
             by_fn: dict = {}
             for position, payload in prepared:
                 by_fn.setdefault(tasks[position].remote, []).append((position, payload))
             pending = []
             for fn, entries in by_fn.items():
-                for start in range(0, len(entries), chunk_size):
-                    chunk = entries[start : start + chunk_size]
+                for chunk in self._cost_chunks(tasks, entries, cost_target):
                     future = pool.submit(_run_remote_chunk, fn, [p for _, p in chunk])
                     pending.append((chunk, future))
             for chunk, future in pending:
@@ -266,6 +285,35 @@ class ProcessPoolExecutor(Executor):
             if results[position] is None:
                 results[position] = _run_timed(task.local, inline=True)
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _cost_chunks(
+        tasks: TypingSequence[WorkTask],
+        entries: List[Tuple[int, Any]],
+        cost_target: Optional[float],
+    ) -> List[List[Tuple[int, Any]]]:
+        """Cut one remote-fn group into contiguous chunks of ~equal cost.
+
+        ``cost_target`` is the global per-chunk budget (total cost over
+        ``2 * workers``); with uniform costs the boundaries coincide with
+        the old fixed ``ceil(n / (2 * workers))`` cut.  ``None`` (all
+        costs zero) degrades to one chunk per entry.
+        """
+        if cost_target is None:
+            return [[entry] for entry in entries]
+        chunks: List[List[Tuple[int, Any]]] = []
+        current: List[Tuple[int, Any]] = []
+        accumulated = 0.0
+        for entry in entries:
+            current.append(entry)
+            accumulated += max(tasks[entry[0]].cost, 0.0)
+            if accumulated >= cost_target:
+                chunks.append(current)
+                current = []
+                accumulated = 0.0
+        if current:
+            chunks.append(current)
+        return chunks
 
 
 def make_executor(name: str, workers: Optional[int] = None) -> Executor:

@@ -362,6 +362,18 @@ class SubsequenceMatcher(QueryInterfaceMixin):
         self.config = dataclasses.replace(self.config, kernel=name)
         self.pipeline.config = self.config
 
+    def close(self) -> None:
+        """Release OS-level resources (shared-memory exports); idempotent.
+
+        The matcher stays fully usable afterwards -- the next process-pool
+        query simply re-creates whatever was released.  Long-lived callers
+        (the HTTP server, tests that build many matchers) call this so
+        shared-memory segments are reclaimed as soon as a matcher is
+        retired rather than at interpreter exit.
+        """
+        if self._index is not None:
+            self._index.close()
+
     @property
     def index(self) -> MetricIndex:
         """The metric index holding the database windows."""

@@ -72,7 +72,7 @@ from repro.core.verification import _VerificationCounter, enumerate_matches, ver
 from repro.distances.backend import active_kernel_name, kernel_scope
 from repro.distances.base import Distance
 from repro.distances.cache import DistanceCache
-from repro.distances.recording import RecordingVerifyCache, replay_verify_log
+from repro.distances.recording import RecordingVerifyCache
 from repro.indexing.base import MetricIndex, chunk_positions, run_query_work_units
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.sequence import Sequence
@@ -158,6 +158,7 @@ class QueryPipeline:
             executor=self.executor.name,
             workers=self.executor.workers,
             kernel_backend=active_kernel_name(),
+            transport=self.config.transport,
         )
 
     # ------------------------------------------------------------------ #
@@ -205,7 +206,12 @@ class QueryPipeline:
         if self.executor.is_parallel:
             units = self.index.query_work_units(sequences, radius)
             per_segment, worker_cpu = run_query_work_units(
-                self.index, units, len(sequences), self.executor
+                self.index,
+                units,
+                len(sequences),
+                self.executor,
+                log_format=self.config.log_format,
+                transport=self.config.transport,
             )
         else:
             per_segment = self.index.batch_range_query(sequences, radius)
@@ -338,12 +344,19 @@ class QueryPipeline:
             # bookkeeping -- run the plain serial loop.
             return [runner(chain, self.cache, counter) for chain in chains], 0.0
         recordings: List[RecordingVerifyCache] = [
-            RecordingVerifyCache(self.cache) for _chain in chains
+            RecordingVerifyCache(self.cache, log_format=self.config.log_format)
+            for _chain in chains
         ]
         # Contiguous chunks of chains per task: candidate chains number in
         # the thousands and most verify in microseconds, so per-chain
-        # futures would cost more than the verification itself.
-        chunks = chunk_positions(len(chains), self.executor.workers)
+        # futures would cost more than the verification itself.  Chunks are
+        # cut by accumulated chain weight (window counts) so one monster
+        # chain does not serialize a whole fixed-size chunk behind it.
+        chunks = chunk_positions(
+            len(chains),
+            self.executor.workers,
+            costs=[float(chain.window_count) for chain in chains],
+        )
         tasks: List[WorkTask] = []
         for positions in chunks:
 
@@ -356,7 +369,7 @@ class QueryPipeline:
             tasks.append(WorkTask(local))
         results = self.executor.run(tasks)
         for recording in recordings:
-            replay_verify_log(recording.log, self.cache, counter)
+            recording.replay_into(self.cache, counter)
         per_chain: List[object] = []
         for result in results:
             per_chain.extend(result.value)

@@ -405,6 +405,12 @@ class QueryStats:
         :mod:`repro.distances.backend`.  Every tier returns identical
         values, so this label never explains a result difference -- only a
         speed difference.
+    transport:
+        The configured payload transport for process-pool work units:
+        ``"auto"``, ``"pickle"``, or ``"shared"`` (see
+        :attr:`~repro.core.config.MatcherConfig.transport`).  Like the
+        kernel backend, this label never explains a result difference --
+        only how window tensors reached the workers.
     shards:
         Number of matcher shards that contributed to these statistics (1
         for a plain matcher; see
@@ -432,6 +438,7 @@ class QueryStats:
     executor: str = "serial"
     workers: int = 1
     kernel_backend: str = "numpy"
+    transport: str = "auto"
     shards: int = 1
     passes: List["QueryStats"] = field(default_factory=list)
 
@@ -492,6 +499,7 @@ class QueryStats:
             executor=final.executor,
             workers=final.workers,
             kernel_backend=final.kernel_backend,
+            transport=final.transport,
             shards=final.shards,
         )
         for stats in passes:
@@ -538,6 +546,7 @@ class QueryStats:
             executor=first.executor,
             workers=first.workers,
             kernel_backend=first.kernel_backend,
+            transport=first.transport,
             shards=len(shard_stats),
         )
         for stats in shard_stats:

@@ -162,6 +162,18 @@ class SearchService:
         """The backend's :func:`config_fingerprint`."""
         return config_fingerprint(self.backend)
 
+    def close(self) -> None:
+        """Release the backend's OS-level resources; idempotent.
+
+        Never triggers the lazy snapshot load: a service that was never
+        queried has nothing to release.  The service remains usable after
+        closing (resources are re-created on demand).
+        """
+        with self._lock:
+            backend = self._backend
+            if backend is not None:
+                backend.close()
+
     def _with_executor(self, executor: Optional[str], workers: Optional[int], run):
         """Run ``run(backend)`` under a per-call executor/worker override.
 

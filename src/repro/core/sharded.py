@@ -184,6 +184,11 @@ class ShardedMatcher(QueryInterfaceMixin):
         for shard in self.shards:
             shard.set_kernel(name)
 
+    def close(self) -> None:
+        """Release OS-level resources on every shard; idempotent."""
+        for shard in self.shards:
+            shard.close()
+
     @property
     def windows(self) -> List[Window]:
         """All database windows, shard by shard."""

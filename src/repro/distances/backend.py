@@ -39,6 +39,7 @@ run each other's (equally exact) tier.
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
@@ -53,6 +54,7 @@ KNOWN_KERNELS = ("auto", "numpy", "compiled", "numba", "cc", "pyloop")
 DETECTION_ORDER = ("numba", "cc")
 
 _provider_cache: Dict[str, Optional[KernelProvider]] = {}
+_provider_lock = threading.Lock()
 _default_provider: Optional[KernelProvider] = None
 _default_resolved = False
 _scope_provider: Optional[KernelProvider] = None
@@ -66,15 +68,25 @@ def default_kernel() -> str:
 
 
 def _try_provider(name: str) -> Optional[KernelProvider]:
-    """Instantiate (and cache) one concrete provider; ``None`` when broken."""
-    if name in _provider_cache:
+    """Instantiate (and cache) one concrete provider; ``None`` when broken.
+
+    The fast path is a lock-free dict read -- safe on GIL builds and on
+    free-threaded ones (per-object dict locking).  A miss builds the
+    provider *outside* the lock (compilation can take seconds; holding a
+    lock across it would serialize unrelated first queries) and publishes
+    with ``setdefault`` so concurrent racers agree on one canonical
+    provider instance.
+    """
+    try:
         return _provider_cache[name]
+    except KeyError:
+        pass
     try:
         provider: Optional[KernelProvider] = make_provider(name)
     except Exception:
         provider = None
-    _provider_cache[name] = provider
-    return provider
+    with _provider_lock:
+        return _provider_cache.setdefault(name, provider)
 
 
 def resolve_kernel(name: str) -> Optional[KernelProvider]:

@@ -25,11 +25,60 @@ cutoff at most ``c`` without recomputing.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.sequences.sequence import Sequence
 
 _INF = float("inf")
+
+
+class _ReplayView:
+    """Direct entry-table access for a single-lock bulk replay.
+
+    Handed out by :meth:`DistanceCache.replay_view` while the cache lock is
+    held: ``lookup``/``store`` reproduce the public methods' semantics --
+    bound entries, the no-downgrade rule, insertion-order eviction -- but
+    against the raw dict, with hit/miss tallies kept as plain local ints.
+    The owning context manager folds the tallies into the cache statistics
+    on exit, so a replayed log leaves exactly the statistics the same
+    requests would have left through ``lookup``/``store`` one at a time.
+    """
+
+    __slots__ = ("entries", "max_entries", "hits", "misses")
+
+    def __init__(self, entries: dict, max_entries: Optional[int]) -> None:
+        self.entries = entries
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, first, second, cutoff) -> Optional[float]:
+        entry = self.entries.get((first, second))
+        if entry is not None:
+            value, exact = entry
+            if exact:
+                self.hits += 1
+                return value
+            if cutoff is not None and value >= cutoff:
+                self.hits += 1
+                return _INF
+        self.misses += 1
+        return None
+
+    def store(self, first, second, value, cutoff) -> None:
+        entries = self.entries
+        key = (first, second)
+        if cutoff is None or value <= cutoff:
+            entries[key] = (value, True)
+        else:
+            existing = entries.get(key)
+            if existing is not None and (existing[1] or existing[0] >= cutoff):
+                return
+            entries[key] = (float(cutoff), False)
+        if self.max_entries is not None:
+            while len(entries) > self.max_entries:
+                entries.pop(next(iter(entries)))
 
 
 class DistanceCache:
@@ -103,19 +152,29 @@ class DistanceCache:
         With a ``cutoff``, a stored lower bound of at least ``cutoff``
         answers the query with ``inf`` (the pair provably cannot be within
         the cutoff); exact entries always answer.  Statistics are updated.
+
+        The entry read happens outside the lock -- a single ``dict.get``
+        of an immutable tuple, safe under the GIL and under free-threaded
+        builds (per-object dict synchronization) alike -- so concurrent
+        readers only serialize on the statistics increment, not on each
+        other's probes.  That narrow critical section is what lets the
+        thread executor scale on no-GIL (PEP 703) interpreters while the
+        hit/miss counts stay exact.
         """
+        entry = self._entries.get((first, second))
+        if entry is not None:
+            value, exact = entry
+            if exact:
+                with self._lock:
+                    self._hits += 1
+                return value
+            if cutoff is not None and value >= cutoff:
+                with self._lock:
+                    self._hits += 1
+                return _INF
         with self._lock:
-            entry = self._entries.get((first, second))
-            if entry is not None:
-                value, exact = entry
-                if exact:
-                    self._hits += 1
-                    return value
-                if cutoff is not None and value >= cutoff:
-                    self._hits += 1
-                    return _INF
             self._misses += 1
-            return None
+        return None
 
     def peek(
         self, first: Sequence, second: Sequence, cutoff: Optional[float] = None
@@ -153,16 +212,28 @@ class DistanceCache:
         exact; a value beyond the cutoff means the kernel abandoned early,
         so only the lower bound ``distance > cutoff`` is recorded -- and
         never downgrades an existing exact entry or a larger bound.
+
+        Exact stores into an unbounded cache take the lock-free fast path:
+        a single dict assignment of an immutable tuple needs no critical
+        section (exact entries always win, so write order between racing
+        threads is immaterial), and it is the overwhelmingly common store.
+        Bound entries (read-modify-write against the no-downgrade rule) and
+        capacity-bounded caches (eviction walks the table) keep the lock.
         """
         key = (first, second)
-        with self._lock:
-            if cutoff is None or value <= cutoff:
+        if cutoff is None or value <= cutoff:
+            if self.max_entries is None:
                 self._entries[key] = (value, True)
-            else:
-                existing = self._entries.get(key)
-                if existing is not None and (existing[1] or existing[0] >= cutoff):
-                    return
-                self._entries[key] = (float(cutoff), False)
+                return
+            with self._lock:
+                self._entries[key] = (value, True)
+                self._evict_overflow()
+            return
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and (existing[1] or existing[0] >= cutoff):
+                return
+            self._entries[key] = (float(cutoff), False)
             self._evict_overflow()
 
     def _evict_overflow(self) -> None:
@@ -173,6 +244,27 @@ class DistanceCache:
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 self._entries.pop(next(iter(self._entries)))
+
+    @contextmanager
+    def replay_view(self):
+        """Single-lock bulk access for unit-log replays.
+
+        The columnar replay (:mod:`repro.distances.recording`) touches the
+        cache once per logged request; going through :meth:`lookup` /
+        :meth:`store` would pay a lock round-trip each time.  This context
+        manager takes the lock *once*, yields a :class:`_ReplayView` over
+        the raw entry table (same lookup/store/eviction semantics, local
+        hit/miss tallies), and folds the tallies into the statistics on
+        exit -- so a full log replays under one critical section and still
+        leaves byte-identical cache content, eviction order, and counts.
+        """
+        view = _ReplayView(self._entries, self.max_entries)
+        with self._lock:
+            try:
+                yield view
+            finally:
+                self._hits += view.hits
+                self._misses += view.misses
 
     # ------------------------------------------------------------------ #
     # Snapshot support

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.distances.base import Distance, SequenceLike
 from repro.distances.cache import DistanceCache
-from repro.distances.recording import RecordingCounting, replay_probe_log
+from repro.distances.recording import RecordingCounting
 from repro.exceptions import DistanceError, IndexError_
 from repro.indexing.stats import CountingDistance, DistanceCounter, IndexStats
 
@@ -67,18 +67,28 @@ class QueryWorkUnit:
     exact serial result order.
 
     Units that can ship their kernel phase to a process pool also provide
-    ``prepare`` (parent-side: cache lookups + payload construction),
-    ``remote`` (a picklable module-level function), and ``finish``
-    (parent-side: fold the child's values into matches).
+    ``prepare`` (parent-side: cache lookups + payload construction --
+    called as ``prepare(recording, transport)`` where ``transport`` names
+    the payload transport, see ``MatcherConfig.transport``), ``remote`` (a
+    picklable module-level function), and ``finish`` (parent-side: fold
+    the child's values into matches).
+
+    ``cost`` is the unit's scheduling weight -- an estimate proportional
+    to its kernel work (e.g. windows x DP cells for a scan group).  The
+    executors chunk units by accumulated cost, so one giant shape group
+    no longer rides in the same fixed-size chunk as a handful of trivial
+    ones and serializes the stage.
     """
 
     position: int
     search: Callable[[Any], List[Tuple[int, RangeMatch]]]
-    prepare: Optional[Callable[[Any], Tuple[Any, Any]]] = None
+    prepare: Optional[Callable[[Any, Optional[str]], Tuple[Any, Any]]] = None
     remote: Optional[Callable[[Any], Any]] = None
     finish: Optional[Callable[[Any, Any, Any], List[Tuple[int, RangeMatch]]]] = None
     #: Display label for diagnostics (index name + split description).
     label: str = field(default="")
+    #: Relative scheduling cost (arbitrary units; 1.0 = nominal).
+    cost: float = 1.0
 
 
 def task_chunk_size(unit_count: int, workers: int) -> int:
@@ -92,13 +102,40 @@ def task_chunk_size(unit_count: int, workers: int) -> int:
     return max(1, (unit_count + 4 * workers - 1) // (4 * workers))
 
 
-def chunk_positions(count: int, workers: int) -> List[List[int]]:
+def chunk_positions(
+    count: int, workers: int, costs: Optional[List[float]] = None
+) -> List[List[int]]:
     """Contiguous position chunks for scheduling ``count`` units.
 
     Contiguity matters: consumers replay unit logs chunk by chunk, and
     ascending contiguous chunks preserve the global unit order the
     serial-equivalence replay depends on.
+
+    With ``costs`` (one non-negative weight per position), chunks are cut
+    greedily at an accumulated cost of ``total / (4 * workers)`` -- the
+    same four-chunks-per-worker budget as the uniform case (for equal
+    costs the boundaries coincide exactly), but an expensive unit stops
+    dragging a long tail of cheap ones into its chunk.
     """
+    if count == 0:
+        return []
+    if costs is not None:
+        total = float(sum(costs))
+        if total > 0:
+            target = total / (4 * workers)
+            chunks: List[List[int]] = []
+            current: List[int] = []
+            accumulated = 0.0
+            for position in range(count):
+                current.append(position)
+                accumulated += costs[position]
+                if accumulated >= target:
+                    chunks.append(current)
+                    current = []
+                    accumulated = 0.0
+            if current:
+                chunks.append(current)
+            return chunks
     size = task_chunk_size(count, workers)
     return [
         list(range(start, min(start + size, count))) for start in range(0, count, size)
@@ -110,22 +147,27 @@ def run_query_work_units(
     units: List[QueryWorkUnit],
     query_count: int,
     executor,
+    log_format: Optional[str] = None,
+    transport: Optional[str] = None,
 ) -> Tuple[List[List[RangeMatch]], float]:
     """Execute ``units`` on ``executor`` with serial-equivalent accounting.
 
     Each unit gets a private
     :class:`~repro.distances.recording.RecordingCounting` over the index's
-    cache; after the executor drains, the unit logs are replayed *in unit
-    order* into the index's live counter and cache, so the counters, the
-    cache content, and the eviction order come out exactly as a serial run
-    would have left them.  Returns one merged match list per query position
-    plus the summed per-worker CPU seconds.
+    cache (``log_format`` selects its request-log encoding); after the
+    executor drains, the unit logs are replayed *in unit order* into the
+    index's live counter and cache, so the counters, the cache content,
+    and the eviction order come out exactly as a serial run would have
+    left them.  Returns one merged match list per query position plus the
+    summed per-worker CPU seconds.
 
     Scheduling granularity: the process executor receives one task per
-    unit (its pool already chunks the picklable payloads); every other
-    executor receives contiguous *chunks* of units per task, which
-    amortises the future/scheduling overhead that thousands of small
-    probe units would otherwise pay.
+    unit (its pool already chunks the picklable payloads by cost); every
+    other executor receives contiguous cost-weighted *chunks* of units per
+    task, which amortises the future/scheduling overhead that thousands of
+    small probe units would otherwise pay.  ``transport`` is forwarded to
+    remote-capable units' ``prepare`` so their payloads can ride shared
+    memory instead of pickling (see ``MatcherConfig.transport``).
     """
     # Imported lazily: the executor layer lives in ``repro.core`` which
     # imports this module at package-init time.
@@ -151,7 +193,9 @@ def run_query_work_units(
         return per_query_serial, 0.0
 
     recordings: List[RecordingCounting] = [
-        RecordingCounting(counting.inner, counting.cache, counting.prefilter)
+        RecordingCounting(
+            counting.inner, counting.cache, counting.prefilter, log_format=log_format
+        )
         for _unit in units
     ]
     tasks: List[WorkTask] = []
@@ -165,7 +209,7 @@ def run_query_work_units(
                 context_box: dict = {}
 
                 def prepare(unit=unit, recording=recording, box=context_box):
-                    context, payload = unit.prepare(recording)
+                    context, payload = unit.prepare(recording, transport)
                     box["context"] = context
                     return payload
 
@@ -173,19 +217,27 @@ def run_query_work_units(
                     return [unit.finish(recording, box["context"], out)]
 
                 tasks.append(
-                    WorkTask(local, prepare=prepare, remote=unit.remote, finish=finish)
+                    WorkTask(
+                        local,
+                        prepare=prepare,
+                        remote=unit.remote,
+                        finish=finish,
+                        cost=unit.cost,
+                    )
                 )
             else:
-                tasks.append(WorkTask(local))
+                tasks.append(WorkTask(local, cost=unit.cost))
         chunks = [[position] for position in range(len(units))]
     else:
-        chunks = chunk_positions(len(units), executor.workers)
+        chunks = chunk_positions(
+            len(units), executor.workers, costs=[unit.cost for unit in units]
+        )
         for positions in chunks:
 
             def local(positions=positions):
                 return [units[p].search(recordings[p]) for p in positions]
 
-            tasks.append(WorkTask(local))
+            tasks.append(WorkTask(local, cost=sum(units[p].cost for p in positions)))
 
     results = executor.run(tasks)
     merged: List[List[Tuple[int, RangeMatch]]] = [[] for _ in range(query_count)]
@@ -193,7 +245,7 @@ def run_query_work_units(
     for positions, result in zip(chunks, results):
         cpu_seconds += result.worker_cpu_seconds
         for position, keyed_matches in zip(positions, result.value):
-            replay_probe_log(recordings[position].log, counting)
+            recordings[position].replay_into(counting)
             merged[units[position].position].extend(keyed_matches)
     per_query: List[List[RangeMatch]] = []
     for keyed in merged:
@@ -367,6 +419,15 @@ class MetricIndex(abc.ABC):
         perform the rebuild *before* work units fan out, because the
         rebuild mutates the structure that concurrent traversals read.
         The default does nothing.
+        """
+
+    def close(self) -> None:
+        """Release OS-level resources the index holds (idempotent).
+
+        The default does nothing; the linear scan overrides this to tear
+        down its shared-memory window export.  Closing never touches the
+        stored items -- a closed index keeps answering queries, it just
+        re-creates any released resources on demand.
         """
 
     def batch_range_query(

@@ -109,6 +109,10 @@ class LinearScanIndex(MetricIndex):
                 self._packed.clear()
                 break
 
+    def close(self) -> None:
+        """Release the shared-memory window export (if one was created)."""
+        self._packed.release_shared()
+
     def _scan_gather(self, keys: List[Hashable]) -> Optional[StoreGather]:
         """A packed gather over ``keys``, or ``None`` when packing is off."""
         if not self._packed_ok:
@@ -178,10 +182,17 @@ class LinearScanIndex(MetricIndex):
 
         units: List[QueryWorkUnit] = []
         for position, query in enumerate(queries):
+            try:
+                query_length = len(query)
+            except TypeError:
+                query_length = 1
             for shape, scan_positions in groups.items():
                 group_keys = [keys[i] for i in scan_positions]
                 group_items = [items[i] for i in scan_positions]
                 group_packed = self._scan_gather(group_keys)
+                # Scheduling weight: windows x DP cells (window length x
+                # query length) -- proportional to the group's kernel work.
+                cost = float(len(scan_positions)) * float(shape[0]) * float(query_length)
 
                 def matches_from(values, group_keys=group_keys, group_items=group_items,
                                  scan_positions=scan_positions):
@@ -200,10 +211,16 @@ class LinearScanIndex(MetricIndex):
                     )
                     return matches_from(values)
 
-                def prepare(counting, query=query, group_items=group_items,
+                def prepare(counting, transport, query=query, group_items=group_items,
                             group_packed=group_packed):
+                    if group_packed is None or transport == "pickle":
+                        remote = False
+                    elif transport == "shared":
+                        remote = "shared"
+                    else:  # "auto" (or unspecified): shared when exportable
+                        remote = "auto"
                     context = counting.batch_prepare(
-                        query, group_items, radius, packed=group_packed
+                        query, group_items, radius, packed=group_packed, remote=remote
                     )
                     return context, context.payload()
 
@@ -219,6 +236,7 @@ class LinearScanIndex(MetricIndex):
                         remote=compute_batch_groups,
                         finish=finish,
                         label=f"{self.index_name} {shape}",
+                        cost=cost,
                     )
                 )
         return units

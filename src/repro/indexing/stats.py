@@ -37,6 +37,7 @@ from repro.distances.base import (
 )
 from repro.distances.cache import DistanceCache
 from repro.distances.lower_bounds import combined_batch_bound, combined_bound
+from repro.sequences.sequence import Sequence
 
 _INF = float("inf")
 
@@ -319,26 +320,55 @@ class CountingDistance:
         values = np.empty(len(items), dtype=np.float64)
         query_array = as_array(query)
         pending: List[int] = []
-        for index, item in enumerate(items):
-            if self.cache is not None and DistanceCache.cacheable(query, item):
-                cached = self.cache.lookup(query, item, cutoff=item_cutoff(cutoff, index))
-                if cached is not None:
-                    self.counter.record_cache_hit()
-                    values[index] = cached
-                    continue
-            pending.append(index)
+        cache = self.cache
+        cacheable_query = cache is not None and isinstance(query, Sequence)
+        if cacheable_query:
+            # All lookups precede all stores in a batch, so the whole
+            # classification runs under one cache lock
+            # (:meth:`DistanceCache.replay_view`) instead of a lock
+            # round-trip per item; hit/miss statistics and the returned
+            # classifications are identical.
+            hits = 0
+            scalar = cutoff is None or np.ndim(cutoff) == 0
+            with cache.replay_view() as view:
+                lookup = view.lookup
+                for index, item in enumerate(items):
+                    if isinstance(item, Sequence):
+                        cached = lookup(
+                            query, item, cutoff if scalar else item_cutoff(cutoff, index)
+                        )
+                        if cached is not None:
+                            hits += 1
+                            values[index] = cached
+                            continue
+                    pending.append(index)
+            if hits:
+                self.counter.record_cache_hit(hits)
+        else:
+            pending = list(range(len(items)))
         if not pending:
             return values
 
         if packed is None:
             arrays, groups = group_batch_operands(self.inner, query_array, items, pending)
+            shape_groups = [(None, indexes) for indexes in groups.values()]
         else:
-            groups = {}
-            for index in pending:
-                groups.setdefault(packed.shape_of(index), []).append(index)
-            for shape in groups:
+            group_positions = getattr(packed, "group_positions", None)
+            if group_positions is not None:
+                shape_groups = group_positions(pending)
+            else:
+                groups = {}
+                for index in pending:
+                    groups.setdefault(packed.shape_of(index), []).append(index)
+                shape_groups = list(groups.items())
+            for shape, _indexes in shape_groups:
                 validate_group_shape(self.inner, query_array, shape)
-        for indexes in groups.values():
+        #: Deferred cache stores as ``(item, value, cutoff)``, flushed under
+        #: a single lock after all groups -- the store order (group order,
+        #: pruned before survivors within a group) matches the inline
+        #: stores exactly, so the cache content and eviction order do too.
+        stores: List[tuple] = []
+        for _shape, indexes in shape_groups:
             if packed is None:
                 tensor = np.stack([arrays[i] for i in indexes])
             else:
@@ -354,11 +384,9 @@ class CountingDistance:
                     for position in np.nonzero(pruned_mask)[0]:
                         index = indexes[position]
                         values[index] = _INF
-                        if self.cache is not None and DistanceCache.cacheable(
-                            query, items[index]
-                        ):
-                            self.cache.store(
-                                query, items[index], _INF, cutoff=item_cutoff(cutoff, index)
+                        if cacheable_query and isinstance(items[index], Sequence):
+                            stores.append(
+                                (items[index], _INF, item_cutoff(cutoff, index))
                             )
                     keep = np.nonzero(~pruned_mask)[0]
                     survivors = [indexes[position] for position in keep]
@@ -369,12 +397,17 @@ class CountingDistance:
                 continue
             fresh = self.inner.compute_batch(query_array, tensor, thresholds)
             self.counter.increment(len(survivors))
+            fresh_list = fresh.tolist() if hasattr(fresh, "tolist") else list(fresh)
             for position, index in enumerate(survivors):
-                values[index] = float(fresh[position])
-                if self.cache is not None and DistanceCache.cacheable(query, items[index]):
-                    self.cache.store(
-                        query, items[index], values[index], cutoff=item_cutoff(cutoff, index)
-                    )
+                value = float(fresh_list[position])
+                values[index] = value
+                if cacheable_query and isinstance(items[index], Sequence):
+                    stores.append((items[index], value, item_cutoff(cutoff, index)))
+        if stores:
+            with cache.replay_view() as view:
+                store = view.store
+                for item, value, item_bound in stores:
+                    store(query, item, value, item_bound)
         return values
 
     def __repr__(self) -> str:

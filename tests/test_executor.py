@@ -160,3 +160,85 @@ class TestMakeExecutor:
     def test_bad_worker_count_rejected(self):
         with pytest.raises(ConfigurationError, match="workers"):
             ThreadPoolExecutor(0)
+
+
+class TestCostAwareChunking:
+    """Cost-weighted chunk cuts: legacy-compatible, heavy-task-aware."""
+
+    def _flat(self, chunks):
+        return [position for chunk in chunks for position in chunk]
+
+    def test_uniform_costs_match_sizebased_boundaries(self):
+        from repro.indexing.base import chunk_positions
+
+        for count in (1, 7, 16, 100):
+            for workers in (1, 2, 4):
+                uniform = chunk_positions(count, workers, costs=[1.0] * count)
+                legacy = chunk_positions(count, workers)
+                assert uniform == legacy
+
+    def test_costed_chunks_are_contiguous_and_complete(self):
+        from repro.indexing.base import chunk_positions
+
+        costs = [5.0, 1.0, 1.0, 1.0, 40.0, 1.0, 1.0, 2.0]
+        chunks = chunk_positions(len(costs), 2, costs=costs)
+        assert self._flat(chunks) == list(range(len(costs)))
+        for chunk in chunks:
+            assert chunk == list(range(chunk[0], chunk[-1] + 1))
+
+    def test_heavy_unit_closes_its_chunk(self):
+        from repro.indexing.base import chunk_positions
+
+        # One unit holds almost all the cost: it must not drag the cheap
+        # tail into its chunk (the fixed-size cut would).
+        costs = [100.0] + [1.0] * 7
+        chunks = chunk_positions(len(costs), 2, costs=costs)
+        assert chunks[0] == [0]
+
+    def test_zero_total_cost_falls_back_to_sizebased(self):
+        from repro.indexing.base import chunk_positions
+
+        assert chunk_positions(8, 2, costs=[0.0] * 8) == chunk_positions(8, 2)
+
+    def test_process_cost_chunks_match_legacy_for_uniform_costs(self):
+        import math
+
+        tasks = [
+            WorkTask(local=lambda: None, prepare=lambda: None, remote=_double_payload)
+            for _ in range(10)
+        ]
+        entries = [(position, None) for position in range(10)]
+        workers = 2
+        target = float(len(tasks)) / (2 * workers)
+        chunks = ProcessPoolExecutor._cost_chunks(tasks, entries, target)
+        legacy_size = math.ceil(len(entries) / (2 * workers))
+        assert [len(chunk) for chunk in chunks] == [
+            legacy_size
+        ] * (len(entries) // legacy_size) + (
+            [len(entries) % legacy_size] if len(entries) % legacy_size else []
+        )
+
+    def test_process_cost_chunks_isolate_heavy_task(self):
+        tasks = []
+        for cost in (50.0, 1.0, 1.0, 1.0):
+            tasks.append(
+                WorkTask(
+                    local=lambda: None,
+                    prepare=lambda: None,
+                    remote=_double_payload,
+                    cost=cost,
+                )
+            )
+        entries = [(position, None) for position in range(4)]
+        total = sum(task.cost for task in tasks)
+        chunks = ProcessPoolExecutor._cost_chunks(tasks, entries, total / 4)
+        assert [entry[0] for entry in chunks[0]] == [0]
+
+    def test_none_target_gives_singleton_chunks(self):
+        tasks = [
+            WorkTask(local=lambda: None, prepare=lambda: None, remote=_double_payload)
+            for _ in range(3)
+        ]
+        entries = [(position, None) for position in range(3)]
+        chunks = ProcessPoolExecutor._cost_chunks(tasks, entries, None)
+        assert [len(chunk) for chunk in chunks] == [1, 1, 1]

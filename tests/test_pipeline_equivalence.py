@@ -521,6 +521,74 @@ class TestExecutorEquivalence:
                 == serial_index.counter.prefilter_evaluations
             )
 
+    @pytest.mark.parametrize("log_format", ["columnar", "object"])
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_log_formats_match_serial(self, planted, executor, log_format):
+        """Both record/replay encodings reproduce the serial accounting."""
+        db, query = planted
+        serial = SubsequenceMatcher(
+            db,
+            DiscreteFrechet(),
+            MatcherConfig(
+                min_length=12, max_shift=1, index="linear-scan", executor="serial"
+            ),
+        )
+        parallel = SubsequenceMatcher(
+            db,
+            DiscreteFrechet(),
+            MatcherConfig(
+                min_length=12,
+                max_shift=1,
+                index="linear-scan",
+                executor=executor,
+                workers=4,
+                log_format=log_format,
+            ),
+        )
+        serial_range = serial.range_search(query, RangeQuery(radius=0.5))
+        parallel_range = parallel.range_search(query, RangeQuery(radius=0.5))
+        assert list(map(_full_match_key, parallel_range)) == list(
+            map(_full_match_key, serial_range)
+        )
+        assert _stats_fingerprint(parallel.last_query_stats) == _stats_fingerprint(
+            serial.last_query_stats
+        )
+
+    @pytest.mark.parametrize("transport", ["pickle", "auto", "shared"])
+    def test_process_transports_match_serial(self, planted, transport):
+        """The payload transport never leaks into results or counters."""
+        db, query = planted
+        serial = SubsequenceMatcher(
+            db,
+            DiscreteFrechet(),
+            MatcherConfig(
+                min_length=12, max_shift=1, index="linear-scan", executor="serial"
+            ),
+        )
+        parallel = SubsequenceMatcher(
+            db,
+            DiscreteFrechet(),
+            MatcherConfig(
+                min_length=12,
+                max_shift=1,
+                index="linear-scan",
+                executor="process",
+                workers=4,
+                transport=transport,
+            ),
+        )
+        try:
+            serial_range = serial.range_search(query, RangeQuery(radius=0.5))
+            parallel_range = parallel.range_search(query, RangeQuery(radius=0.5))
+            assert list(map(_full_match_key, parallel_range)) == list(
+                map(_full_match_key, serial_range)
+            )
+            assert _stats_fingerprint(parallel.last_query_stats) == _stats_fingerprint(
+                serial.last_query_stats
+            )
+        finally:
+            parallel.close()
+
     def test_executor_env_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_EXECUTOR", "thread")
         assert MatcherConfig(min_length=12).executor == "thread"
